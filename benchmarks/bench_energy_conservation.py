@@ -1,0 +1,77 @@
+"""Section V-A's physics claim: "The simulations produce consistent
+final results across all systems, conserving mass and energy."
+
+A longer integration of the galaxy workload with every algorithm,
+asserting bounded relative energy drift, exact mass conservation, and
+cross-algorithm consistency of the final state at a tight opening
+angle.  Run per multipole order to show the order-2 expansion tracks
+the exact trajectory strictly better.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.physics.accuracy import relative_l2_error
+from repro.physics.diagnostics import energy_report
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+N = 1500
+STEPS = 60
+PARAMS = GravityParams(softening=0.05)
+ALGS = ("all-pairs", "octree", "bvh", "octree-2stage")
+
+
+def sweep():
+    base = galaxy_collision(N, seed=4)
+    e0 = energy_report(base, PARAMS)
+    m0 = base.total_mass
+    finals = {}
+    rows = []
+    for alg in ALGS:
+        s = base.copy()
+        cfg = SimulationConfig(algorithm=alg, theta=0.3, dt=5e-3, gravity=PARAMS)
+        rep = Simulation(s, cfg).run(STEPS)
+        e1 = energy_report(s, PARAMS)
+        finals[alg] = s.x.copy()
+        rows.append({
+            "algorithm": alg,
+            "energy_drift": e1.drift_from(e0),
+            "mass_drift": abs(s.total_mass - m0),
+            "wall_s": rep.wall_seconds,
+        })
+    ref = finals["all-pairs"]
+    for row in rows:
+        row["final_pos_gap_vs_exact"] = relative_l2_error(finals[row["algorithm"]], ref)
+
+    # order-2 improvement on the octree
+    s1 = base.copy()
+    Simulation(s1, SimulationConfig(algorithm="octree", theta=0.6, dt=5e-3,
+                                    gravity=PARAMS, multipole_order=1)).run(STEPS)
+    s2 = base.copy()
+    Simulation(s2, SimulationConfig(algorithm="octree", theta=0.6, dt=5e-3,
+                                    gravity=PARAMS, multipole_order=2)).run(STEPS)
+    rows.append({
+        "algorithm": "octree theta=0.6 order1->2",
+        "final_pos_gap_vs_exact": None,
+        "order1_gap": relative_l2_error(s1.x, ref := finals["all-pairs"]),
+        "order2_gap": relative_l2_error(s2.x, ref),
+    })
+    return rows
+
+
+@pytest.mark.benchmark(group="conservation")
+def test_energy_conservation(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("energy_conservation", format_table(
+        rows, title=f"Conservation over {STEPS} steps, galaxy N={N}, theta=0.3"
+    ))
+    for r in rows[:4]:
+        assert r["mass_drift"] == 0.0
+        assert r["energy_drift"] < 2e-3
+        assert r["final_pos_gap_vs_exact"] < 5e-3
+    extra = rows[-1]
+    assert extra["order2_gap"] < extra["order1_gap"]

@@ -1,0 +1,39 @@
+"""Figure 5: single-core sequential vs single-socket parallel throughput
+for the tiny-size galaxy workload (1e4 bodies) on the CPU systems.
+
+Expected shapes (paper Section V-B):
+* up to ~40x parallel speedups;
+* Octree and BVH outperform the brute-force algorithms;
+* All-Pairs outperforms All-Pairs-Col on every CPU.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.figures import fig5_rows
+
+N_TINY = 10_000
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_seq_vs_par(benchmark, emit):
+    rows = benchmark.pedantic(
+        fig5_rows, kwargs={"n": N_TINY, "max_direct": MAX_DIRECT},
+        rounds=1, iterations=1,
+    )
+    emit("fig5_seq_vs_par", format_table(
+        rows,
+        columns=["device", "algorithm", "n", "seq_bodies_per_s",
+                 "par_bodies_per_s", "speedup"],
+        title=f"Figure 5: sequential vs parallel, galaxy N={N_TINY} (CPUs)",
+    ))
+
+    by = {(r["device"], r["algorithm"]): r for r in rows}
+    devices = {r["device"] for r in rows}
+    speedups = [r["speedup"] for r in rows if r["speedup"]]
+    assert max(speedups) > 20, "expected up-to-40x class speedups"
+    for d in devices:
+        assert by[(d, "octree")]["par_bodies_per_s"] > by[(d, "all-pairs")]["par_bodies_per_s"]
+        assert by[(d, "bvh")]["par_bodies_per_s"] > by[(d, "all-pairs")]["par_bodies_per_s"]
+        assert by[(d, "all-pairs")]["par_bodies_per_s"] > by[(d, "all-pairs-col")]["par_bodies_per_s"]

@@ -1,0 +1,61 @@
+"""Figure 6: algorithm throughput for the small-size galaxy workload
+(1e5 bodies) across the full device catalog.
+
+Expected shapes (paper Section V-B):
+* All-Pairs > All-Pairs-Col everywhere except NVIDIA GPUs;
+* MI300X has the highest all-pairs-family throughput;
+* BVH runs on every system; Octree only on CPUs and NVIDIA GPUs;
+* GH200: Octree is the overall best, ~1.5x over BVH;
+* A100 (Ampere partitioned L2): BVH beats Octree at this size.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.figures import fig6_rows
+
+N_SMALL = 100_000
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_small(benchmark, emit):
+    rows = benchmark.pedantic(
+        fig6_rows, kwargs={"n": N_SMALL, "max_direct": MAX_DIRECT},
+        rounds=1, iterations=1,
+    )
+    emit("fig6_small", format_table(
+        rows,
+        columns=["device", "kind", "algorithm", "n", "bodies_per_s"],
+        title=f"Figure 6: algorithm throughput, galaxy N={N_SMALL}",
+    ))
+
+    thr = {(r["device"], r["algorithm"]): r["bodies_per_s"] for r in rows}
+
+    # Octree / All-Pairs-Col unavailable on AMD & Intel GPUs.
+    for dev in ("AMD MI100", "AMD MI250 GCD", "AMD MI300X",
+                "Intel PVC1550 2 Tiles"):
+        assert thr[(dev, "octree")] is None
+        assert thr[(dev, "bvh")] is not None
+
+    # All-Pairs vs All-Pairs-Col ordering.
+    for dev in ("NV V100-16", "NV A100-80", "NV H100-80", "NV GH200-480"):
+        assert thr[(dev, "all-pairs-col")] > thr[(dev, "all-pairs")]
+    for dev in ("AMD 9654 (Genoa)", "AWS Graviton4", "Intel 8480C (SPR)",
+                "NV Grace-120"):
+        assert thr[(dev, "all-pairs")] > thr[(dev, "all-pairs-col")]
+
+    # MI300X tops the all-pairs family.
+    best_ap = max((v, d) for (d, a), v in thr.items()
+                  if a == "all-pairs" and v)
+    assert best_ap[1] == "AMD MI300X"
+
+    # GH200: octree best overall, ~1.5x BVH.
+    gh = {a: thr[("NV GH200-480", a)] for a in
+          ("all-pairs", "all-pairs-col", "octree", "bvh")}
+    assert gh["octree"] == max(v for v in gh.values() if v)
+    assert 1.2 < gh["octree"] / gh["bvh"] < 2.2
+
+    # Ampere inversion at small size.
+    assert thr[("NV A100-80", "bvh")] > thr[("NV A100-80", "octree")]
+    assert thr[("NV H100-80", "octree")] > thr[("NV H100-80", "bvh")]

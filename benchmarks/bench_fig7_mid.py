@@ -1,0 +1,44 @@
+"""Figure 7: algorithm throughput for the mid-size galaxy workload
+(1e6 bodies).
+
+Expected shapes: the trends of Fig. 6 extend to 1e6 — except on A100,
+where the Octree/BVH ordering *reverses* relative to the small size
+(the build's synchronizing-atomic latency amortizes while the BVH's
+fatter traversal keeps scaling), the effect the paper attributes to the
+Ampere partitioned L2.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.figures import fig7_rows
+
+N_MID = 1_000_000
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_mid(benchmark, emit):
+    rows = benchmark.pedantic(
+        fig7_rows, kwargs={"n": N_MID, "max_direct": MAX_DIRECT},
+        rounds=1, iterations=1,
+    )
+    emit("fig7_mid", format_table(
+        rows,
+        columns=["device", "kind", "algorithm", "n", "bodies_per_s"],
+        title=f"Figure 7: algorithm throughput, galaxy N={N_MID}",
+    ))
+
+    thr = {(r["device"], r["algorithm"]): r["bodies_per_s"] for r in rows}
+
+    # Mid-size reversal on Ampere; Hopper keeps Octree on top.
+    assert thr[("NV A100-80", "octree")] > thr[("NV A100-80", "bvh")]
+    assert thr[("NV H100-80", "octree")] > thr[("NV H100-80", "bvh")]
+
+    # Trees dominate brute force by a wide margin at 1e6.
+    for dev in ("NV GH200-480", "AMD 9654 (Genoa)"):
+        assert thr[(dev, "octree")] > 10 * thr[(dev, "all-pairs")]
+
+    # Octree still absent from AMD/Intel GPUs.
+    assert thr[("AMD MI300X", "octree")] is None
+    assert thr[("AMD MI300X", "bvh")] is not None

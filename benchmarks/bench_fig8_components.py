@@ -1,0 +1,52 @@
+"""Figure 8: relative execution time of the non-force pipeline steps on
+a GH200 system (Grace CPU and Hopper GPU) across toolchains.
+
+Expected shapes: inter-toolchain variation is small and concentrated in
+the parallel sort ("which is not necessarily optimised in all
+compilers"); the remaining steps are bandwidth/launch bound and nearly
+toolchain-independent.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.figures import fig8_rows
+
+N_SMALL = 100_000
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_components(benchmark, emit):
+    rows = benchmark.pedantic(
+        fig8_rows, kwargs={"n": N_SMALL, "max_direct": MAX_DIRECT},
+        rounds=1, iterations=1,
+    )
+    emit("fig8_components", format_table(
+        rows,
+        columns=["device", "toolchain", "algorithm", "step",
+                 "seconds", "fraction_of_total"],
+        title=f"Figure 8: component breakdown (excl. force), N={N_SMALL}",
+    ))
+
+    # Variation across toolchains, per (device, algorithm, step).
+    spread: dict = {}
+    for r in rows:
+        spread.setdefault((r["device"], r["algorithm"], r["step"]), []).append(
+            r["seconds"]
+        )
+    sort_spreads, other_spreads = [], []
+    for (dev, alg, step), secs in spread.items():
+        if len(secs) < 2:
+            continue
+        ratio = max(secs) / min(secs)
+        (sort_spreads if step == "sort" else other_spreads).append(ratio)
+
+    # Sort is where toolchains differ; the rest is nearly identical.
+    assert max(sort_spreads) > 1.05
+    assert max(other_spreads) < max(sort_spreads) + 0.05
+    # Overall variation stays small (paper: 'relatively small').
+    assert max(sort_spreads) < 1.5
+
+    # Force excluded per the figure's definition.
+    assert all(r["step"] != "force" for r in rows)

@@ -1,0 +1,36 @@
+"""Figure 9: two heterogeneous ISO C++ toolchains (NVC++ vs AdaptiveCpp)
+on GH200 over a body-count sweep.
+
+Expected shape: comparable performance across the sweep, largest
+difference ~1.25x, differences mostly attributable to CALCULATEFORCE
+(compute efficiency) and sort.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.figures import fig9_rows
+
+SIZES = (10_000, 30_000, 100_000, 300_000, 1_000_000)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_toolchains(benchmark, emit):
+    rows = benchmark.pedantic(
+        fig9_rows, kwargs={"sizes": SIZES, "max_direct": MAX_DIRECT},
+        rounds=1, iterations=1,
+    )
+    emit("fig9_toolchains", format_table(
+        rows,
+        columns=["device", "algorithm", "n", "nvcpp_bodies_per_s",
+                 "acpp_bodies_per_s", "ratio"],
+        title="Figure 9: NVC++ vs AdaptiveCpp on GH200",
+    ))
+
+    ratios = [r["ratio"] for r in rows]
+    assert all(r is not None for r in ratios)
+    # Comparable performance; spread bounded like the paper's 1.25x.
+    assert max(max(ratios), 1 / min(ratios)) < 1.4
+    # NVC++ never loses by much and usually wins slightly.
+    assert sum(r >= 1.0 for r in ratios) >= len(ratios) // 2

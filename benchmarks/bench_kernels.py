@@ -1,0 +1,103 @@
+"""Host-kernel microbenchmarks: real wall-clock times of this
+reproduction's vectorized pipeline steps (not modeled device times).
+
+These measure the Python/numpy lockstep kernels themselves, giving the
+baseline behind every figure's "host" measurement and tracking
+regressions in the implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bvh.build import build_bvh
+from repro.bvh.force import bvh_accelerations
+from repro.geometry.aabb import compute_bounding_box, quantize_to_grid
+from repro.geometry.hilbert import hilbert_encode
+from repro.geometry.morton import morton_encode
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.force import octree_accelerations
+from repro.octree.multipoles import compute_multipoles_vectorized
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+N = 4000
+PARAMS = GravityParams(softening=0.05)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return galaxy_collision(N, seed=0)
+
+
+@pytest.fixture(scope="module")
+def grid(system):
+    return quantize_to_grid(system.x, compute_bounding_box(system.x), 16)
+
+
+@pytest.fixture(scope="module")
+def octree(system):
+    pool = build_octree_vectorized(system.x)
+    compute_multipoles_vectorized(pool, system.x, system.m)
+    return pool
+
+
+@pytest.fixture(scope="module")
+def bvh(system):
+    return build_bvh(system.x, system.m)
+
+
+@pytest.mark.benchmark(group="kernels-geometry")
+def test_bounding_box(benchmark, system):
+    benchmark(compute_bounding_box, system.x)
+
+
+@pytest.mark.benchmark(group="kernels-geometry")
+def test_morton_encode(benchmark, grid):
+    benchmark(morton_encode, grid, 16)
+
+
+@pytest.mark.benchmark(group="kernels-geometry")
+def test_hilbert_encode(benchmark, grid):
+    benchmark(hilbert_encode, grid, 16)
+
+
+@pytest.mark.benchmark(group="kernels-build")
+def test_octree_build(benchmark, system):
+    benchmark(build_octree_vectorized, system.x)
+
+
+@pytest.mark.benchmark(group="kernels-build")
+def test_octree_multipoles(benchmark, system):
+    pool = build_octree_vectorized(system.x)
+    benchmark(compute_multipoles_vectorized, pool, system.x, system.m)
+
+
+@pytest.mark.benchmark(group="kernels-build")
+def test_bvh_build(benchmark, system):
+    benchmark(build_bvh, system.x, system.m)
+
+
+@pytest.mark.benchmark(group="kernels-force")
+def test_octree_force(benchmark, system, octree):
+    benchmark.pedantic(
+        octree_accelerations, args=(octree, system.x, system.m, PARAMS),
+        kwargs={"theta": 0.5}, rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="kernels-force")
+def test_bvh_force(benchmark, bvh):
+    benchmark.pedantic(
+        bvh_accelerations, args=(bvh, PARAMS), kwargs={"theta": 0.5},
+        rounds=2, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="kernels-force")
+def test_allpairs_force(benchmark, system):
+    from repro.allpairs.classic import allpairs_accelerations
+
+    benchmark.pedantic(
+        allpairs_accelerations, args=(system.x, system.m, PARAMS),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""Section V-B, "GPU NUMA effects": Intel PVC 1550 one tile vs two.
+
+Paper: "the best result for small problems is obtained with 2 tiles,
+while the best result for larger problems is obtained with 1 tile,
+suggesting that NUMA effects may penalize throughput for larger
+problems.  Our measurements show the best result of either one or two
+tiles."
+
+We model both configurations (the 2-tile device pays a cross-tile
+traversal penalty once irregular traffic exceeds a tile's reach) and
+report, per size, both throughputs and the best-of — asserting the
+crossover the paper observed.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table, project_throughput
+from repro.experiments.figures import measure_galaxy_runs
+from repro.machine import get_device
+
+SIZES = (10_000, 100_000, 1_000_000)
+
+
+def sweep():
+    one = get_device("pvc1550-1t")
+    two = get_device("pvc1550")
+    rows = []
+    for n in SIZES:
+        run = measure_galaxy_runs(n, ("bvh",), max_direct=MAX_DIRECT)["bvh"]
+        t1 = project_throughput(run, one)
+        t2 = project_throughput(run, two)
+        rows.append({
+            "n": n,
+            "one_tile_bodies_per_s": t1,
+            "two_tiles_bodies_per_s": t2,
+            "best": "2 tiles" if t2 >= t1 else "1 tile",
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="numa")
+def test_pvc_tile_crossover(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("numa_tiles", format_table(
+        rows, title="PVC 1550: BVH throughput, one tile vs two (Sec. V-B)"
+    ))
+    # Small problems favour 2 tiles; large problems favour 1 tile.
+    assert rows[0]["best"] == "2 tiles"
+    assert rows[-1]["best"] == "1 tile"

@@ -1,0 +1,63 @@
+"""Section V-B's hang, as a benchmark: the Concurrent Octree build on
+schedulers with and without Independent Thread Scheduling.
+
+On the FAIR scheduler (parallel forward progress: CPU / Volta+ GPU) the
+starvation-free build completes; on the LOCKSTEP scheduler (weakly
+parallel forward progress: AMD/Intel GPU) it livelocks, which the
+scheduler detects instead of hanging the machine.  We time how quickly
+each outcome is reached and record the lock-retry statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.errors import LivelockDetected
+from repro.machine import get_device
+from repro.octree.build_concurrent import build_octree_concurrent
+from repro.stdpar.context import ExecutionContext
+
+N = 256
+
+
+def _build(device_key: str, simulate: bool):
+    ctx = ExecutionContext(
+        device=get_device(device_key),
+        backend="reference",
+        on_progress_violation="simulate" if simulate else "raise",
+        warp_width=16,
+    )
+    x = np.random.default_rng(0).random((N, 3))
+    try:
+        build_octree_concurrent(x, bits=8, ctx=ctx)
+        outcome = "completed"
+    except LivelockDetected:
+        outcome = "livelock detected"
+    return outcome, ctx.counters.lock_retries
+
+
+@pytest.mark.benchmark(group="progress")
+def test_build_with_its(benchmark, emit):
+    outcome, retries = benchmark.pedantic(
+        _build, args=("h100", False), rounds=1, iterations=1
+    )
+    assert outcome == "completed"
+    emit("progress_its", format_table(
+        [{"device": "NV H100-80 (ITS)", "outcome": outcome,
+          "lock_retries": retries}],
+        title="Concurrent Octree build under parallel forward progress",
+    ))
+
+
+@pytest.mark.benchmark(group="progress")
+def test_build_without_its(benchmark, emit):
+    outcome, retries = benchmark.pedantic(
+        _build, args=("mi300x", True), rounds=1, iterations=1
+    )
+    assert outcome == "livelock detected"
+    emit("progress_no_its", format_table(
+        [{"device": "AMD MI300X (no ITS, simulated)", "outcome": outcome,
+          "lock_retries": retries}],
+        title="Concurrent Octree build under weakly parallel progress "
+              "(paper Section V-B: 'reliably caused them to hang')",
+    ))

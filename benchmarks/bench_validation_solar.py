@@ -1,0 +1,72 @@
+"""Section V-A validation experiment: solar-system small bodies.
+
+Paper: 1,039,551 JPL small bodies, one day at dt = 1 hour; L2 error
+norm of final positions across implementations < 1e-6; Octree
+outperforms BVH by 3.3x on H100.
+
+Here: a synthetic Keplerian population (DESIGN.md substitution), the
+same 24 x 1h integration, cross-checked against the exact All-Pairs
+reference (stricter than the paper's cross-implementation check), plus
+the H100 Octree/BVH throughput ratio projected at the paper's
+population size.
+"""
+
+import pytest
+
+from conftest import MAX_DIRECT
+from repro.bench import format_table
+from repro.experiments.validation import PAPER_N, run_validation
+
+N_SCALED = 4000  # documented scale-down of 1,039,551 (see EXPERIMENTS.md)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_accuracy(benchmark, emit):
+    res = benchmark.pedantic(
+        run_validation, kwargs={"n": N_SCALED, "steps": 24},
+        rounds=1, iterations=1,
+    )
+    emit("validation_solar", res.summary())
+    assert res.passed
+    assert all(v < 1e-6 for v in res.l2_errors.values())
+    assert all(d < 1e-9 for d in res.energy_drift.values())
+
+
+@pytest.mark.benchmark(group="validation")
+def test_validation_h100_ratio(benchmark, emit):
+    """Octree/BVH and Octree/two-stage throughput on H100 at the
+    paper's N.  Paper: "Our Octree algorithm outperforms BVH by 3.3x,
+    and Thüring et al. by 5.2x, on H100" — our two-stage builder
+    models Thüring's construction strategy (see DESIGN.md)."""
+    from repro.bench import measure_pipeline, project_throughput
+    from repro.core.config import SimulationConfig
+    from repro.experiments.validation import DT_HOUR
+    from repro.machine import get_device
+    from repro.workloads.solar import SOLAR_GRAVITY, solar_system
+
+    def run():
+        cfg = SimulationConfig(theta=0.5, dt=DT_HOUR, gravity=SOLAR_GRAVITY)
+        mk = lambda k: solar_system(k, seed=2024)
+        h100 = get_device("h100")
+        thr = {
+            alg: project_throughput(
+                measure_pipeline(mk, alg, PAPER_N, config=cfg,
+                                 max_direct=MAX_DIRECT),
+                h100,
+            )
+            for alg in ("octree", "bvh", "octree-2stage")
+        }
+        return thr
+
+    thr = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio_bvh = thr["octree"] / thr["bvh"]
+    ratio_2s = thr["octree"] / thr["octree-2stage"]
+    emit("validation_h100_ratio", format_table(
+        [{"algorithm": a, "h100_bodies_per_s": v} for a, v in thr.items()]
+        + [{"algorithm": "octree/bvh (paper 3.3x)", "h100_bodies_per_s": ratio_bvh},
+           {"algorithm": "octree/2stage (paper 5.2x vs Thuering)",
+            "h100_bodies_per_s": ratio_2s}],
+        title=f"Validation: H100 throughput at N={PAPER_N}",
+    ))
+    assert 2.0 < ratio_bvh < 5.0
+    assert 3.0 < ratio_2s < 12.0

@@ -1,0 +1,43 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Every bench both *times* its computation via pytest-benchmark and
+*emits* the rows behind the corresponding paper figure: tables are
+printed to stdout and saved under ``benchmarks/results/`` so that
+EXPERIMENTS.md can reference them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Size cap for direct host execution inside benches.  Figures at the
+#: paper's sizes use ladder extrapolation beyond it (see
+#: repro.bench.extrapolate).  Override with REPRO_BENCH_MAX_DIRECT.
+MAX_DIRECT = int(os.environ.get("REPRO_BENCH_MAX_DIRECT", "8000"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a table and persist it to results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _emit

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The paper's benchmark workload: two galaxies colliding.
+
+Follows the collision through time with all diagnostics, comparing the
+Concurrent Octree and Hilbert BVH strategies step for step, and renders
+an ASCII density map of the merger so you can watch it happen in a
+terminal.
+
+Run:  python examples/galaxy_collision.py [n_bodies]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GravityParams, Simulation, SimulationConfig, galaxy_collision
+from repro.physics import energy_report, center_of_mass
+from repro.physics.accuracy import relative_l2_error
+from repro.viz import density_map
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    gravity = GravityParams(softening=0.05)
+    cfg = SimulationConfig(theta=0.5, dt=2e-2, gravity=gravity)
+
+    oct_sys = galaxy_collision(n, seed=7, separation=5.0, approach_speed=0.8)
+    bvh_sys = oct_sys.copy()
+    oct_sim = Simulation(oct_sys, cfg.with_(algorithm="octree"))
+    bvh_sim = Simulation(bvh_sys, cfg.with_(algorithm="bvh"))
+
+    e0 = energy_report(oct_sys, gravity)
+    print(f"two Plummer galaxies, {n} bodies total, theta=0.5, dt=0.02")
+    print(f"initial energy: T={e0.kinetic:.4f} U={e0.potential:.4f}\n")
+
+    epochs = 6
+    steps_per_epoch = 25
+    for epoch in range(epochs):
+        oct_sim.run(steps_per_epoch)
+        bvh_sim.run(steps_per_epoch)
+        e = energy_report(oct_sys, gravity)
+        drift = e.drift_from(e0)
+        gap = relative_l2_error(bvh_sys.x, oct_sys.x)
+        com = center_of_mass(oct_sys)
+        print(f"t = {oct_sim.time:5.2f}  energy drift {drift:.2e}  "
+              f"octree-vs-bvh position gap {gap:.2e}  |com| {np.linalg.norm(com):.2e}")
+        print(density_map(oct_sys.x))
+        print()
+
+    print("Both tree strategies, same physics: the collision unfolds "
+          "identically up to the theta-approximation difference the "
+          "paper discusses (end of Section IV-B).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Paper Figure 1, live: the quadtree data structure and memory layout.
+
+The paper's exposition uses a 2-D quadtree (the octree's flat cousin):
+each node stores one offset to its first child, sibling groups store
+one parent offset, children sit in Morton order at larger offsets than
+their parent.  This example builds the quadtree over a handful of 2-D
+bodies and prints both views of Figure 1 — the spatial subdivision and
+the in-memory node array — so you can see tokens (Empty/Body) and
+child offsets exactly as the paper draws them.
+
+Run:  python examples/quadtree_figure1.py
+"""
+
+import numpy as np
+
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.layout import EMPTY, decode_body, is_body_token
+from repro.octree.traversal import compute_escape_indices, validate_tree
+
+
+def render_grid(pool, x, size: int = 33) -> str:
+    """ASCII picture of the subdivision with body labels."""
+    canvas = [[" "] * size for _ in range(size)]
+
+    def draw_box(cx, cy, half, depth):
+        lo_x, hi_x = cx - half, cx + half
+        lo_y, hi_y = cy - half, cy + half
+        for t in np.linspace(lo_x, hi_x, size):
+            for yy in (lo_y, hi_y):
+                i, j = _to_cell(t, yy, size)
+                canvas[j][i] = "."
+        for t in np.linspace(lo_y, hi_y, size):
+            for xx in (lo_x, hi_x):
+                i, j = _to_cell(xx, t, size)
+                canvas[j][i] = "."
+
+    def _to_cell(px, py, size):
+        i = int(np.clip(px * (size - 1), 0, size - 1))
+        j = int(np.clip((1.0 - py) * (size - 1), 0, size - 1))
+        return i, j
+
+    def rec(node, cx, cy, half, depth):
+        draw_box(cx, cy, half, depth)
+        c = int(pool.child[node])
+        if c < 0:
+            return
+        q = half / 2
+        # Morton order: (-,-), (+,-), (-,+), (+,+)
+        offsets = [(-q, -q), (q, -q), (-q, q), (q, q)]
+        for i, (dx, dy) in enumerate(offsets):
+            rec(c + i, cx + dx, cy + dy, q, depth + 1)
+
+    cube = pool.box
+    rec(0, 0.5, 0.5, 0.5, 0)
+    for b, (px, py) in enumerate(x):
+        i, j = _to_cell(px, py, size)
+        canvas[j][i] = str(b % 10)
+    return "\n".join("".join(row) for row in canvas)
+
+
+def render_memory(pool) -> str:
+    """The Fig. 1 node array: child word per node, parent per group."""
+    lines = ["node  child-word        parent  escape"]
+    esc = compute_escape_indices(pool)
+    for node in range(pool.n_nodes):
+        token = int(pool.child[node])
+        if token >= 0:
+            word = f"child -> {token}"
+        elif token == EMPTY:
+            word = "E (empty)"
+        elif is_body_token(token):
+            word = f"B{decode_body(token)} (body)"
+        else:
+            word = "L (locked)"
+        parent = pool.parent_of(node)
+        lines.append(f"{node:4d}  {word:16s} {parent:6d}  {int(esc[node]):6d}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    x = rng.random((6, 2))
+    pool = build_octree_vectorized(x, bits=6)
+    validate_tree(pool, len(x))
+
+    print("bodies:")
+    for b, p in enumerate(x):
+        print(f"  {b}: ({p[0]:.3f}, {p[1]:.3f})")
+    print("\nspatial subdivision (paper Fig. 1, left):\n")
+    print(render_grid(pool, x))
+    print("\nmemory layout (paper Fig. 1, right):\n")
+    print(render_memory(pool))
+    print("\nInvariants on display: one child offset per node, one parent")
+    print("offset per sibling group, children in Morton order at strictly")
+    print("larger offsets than their parent (the stackless-DFS property).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup shim.
+
+The container used for this reproduction has no ``wheel`` package and no
+network access, so PEP 517 editable installs (which require building a
+wheel) fail.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` fall back to the legacy ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""stdpar-nbody-repro: a Python reproduction of
+"Efficient Tree-based Parallel Algorithms for N-Body Simulations Using
+C++ Standard Parallelism" (Cassell, Deakin, Alpay, Heuveline,
+Brito Gadeschi - SC 2024).
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig, galaxy_collision
+
+    sim = Simulation(
+        galaxy_collision(10_000),
+        SimulationConfig(algorithm="octree", theta=0.5, dt=1e-3),
+    )
+    sim.run(10)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and per-experiment index, and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core import Simulation, SimulationConfig, get_algorithm, list_algorithms
+from repro.errors import (
+    AllocatorExhausted,
+    ConfigurationError,
+    DeviceNotSupported,
+    ForwardProgressError,
+    LivelockDetected,
+    ReproError,
+    VectorizationUnsafeError,
+)
+from repro.machine import DEVICES, get_device, list_devices
+from repro.physics import BodySystem, GravityParams
+from repro.stdpar import ExecutionContext, par, par_unseq, seq
+from repro.workloads import galaxy_collision, plummer_sphere, solar_system, uniform_cube
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "get_algorithm",
+    "list_algorithms",
+    "BodySystem",
+    "GravityParams",
+    "ExecutionContext",
+    "seq",
+    "par",
+    "par_unseq",
+    "DEVICES",
+    "get_device",
+    "list_devices",
+    "galaxy_collision",
+    "plummer_sphere",
+    "solar_system",
+    "uniform_cube",
+    "ReproError",
+    "VectorizationUnsafeError",
+    "ForwardProgressError",
+    "LivelockDetected",
+    "AllocatorExhausted",
+    "ConfigurationError",
+    "DeviceNotSupported",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""O(N²) brute-force baselines (paper Section V-A, "Algorithms").
+
+* **All-Pairs** — the classical implementation, parallelized over the
+  *bodies* with ``par_unseq``: thread *i* accumulates the force from
+  every other body into a private register, no synchronization at all.
+* **All-Pairs-Col** — parallelized over the *force pairs* with ``par``:
+  each unordered pair {i, j} is computed once and both accelerations
+  are updated with ``atomic fetch_add`` (concurrent accumulation).
+  Halves the arithmetic but pays for all-to-all atomic reductions —
+  which is why the classical variant wins on CPUs (coherency traffic)
+  while the collision variant can win on NVIDIA GPUs with their
+  fire-and-forget FP64 atomics (paper Figs. 5-7).
+"""
+
+from repro.allpairs.classic import allpairs_accelerations
+from repro.allpairs.collision import allpairs_col_accelerations
+
+__all__ = ["allpairs_accelerations", "allpairs_col_accelerations"]

@@ -1,0 +1,12 @@
+"""Applications built on the tree substrate.
+
+The paper's introduction motivates Barnes-Hut beyond cosmology: "more
+recently for high-dimensional data visualisation in machine learning",
+with related work naming t-SNE [27] and Barnes-Hut-SNE [28].  This
+package delivers that application: a Barnes-Hut t-SNE whose repulsive
+forces run through the same quadtree machinery the simulations use.
+"""
+
+from repro.apps.tsne import BarnesHutTSNE, pairwise_affinities
+
+__all__ = ["BarnesHutTSNE", "pairwise_affinities"]

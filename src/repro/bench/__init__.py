@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+The harness separates *measurement* from *projection*:
+
+1. a workload runs for real on the host (vectorized backend), producing
+   exact operation counters per pipeline step;
+2. counters measured at a ladder of sizes are extrapolated to the
+   paper's problem sizes with per-field power-law fits
+   (:mod:`repro.bench.extrapolate`);
+3. the cost model projects the counters onto every Table I device,
+   yielding the throughput figures (bodies/s) behind each plot.
+
+Wall-clock numbers for the host Python kernels are reported alongside,
+clearly labelled — they measure this reproduction, not the paper's
+hardware.
+"""
+
+from repro.bench.runner import (
+    MeasuredRun,
+    measure_pipeline,
+    project_throughput,
+    throughput_table,
+)
+from repro.bench.extrapolate import extrapolate_counters, fit_power_law
+from repro.bench.report import format_table
+
+__all__ = [
+    "MeasuredRun",
+    "measure_pipeline",
+    "project_throughput",
+    "throughput_table",
+    "extrapolate_counters",
+    "fit_power_law",
+    "format_table",
+]

@@ -1,0 +1,123 @@
+"""The artifact-evaluation workflow (paper Appendix A).
+
+The paper's artifact runs ``./ci/run_docker bench`` to produce a raw
+``out_$(hostname)`` file and post-processes it with ``./ci/data.py``
+into "a table that contains the single data points of the Figures in
+Section V".  This module mirrors that two-phase workflow:
+
+* :func:`run_artifact` executes the figure experiments and writes one
+  JSON file with every data point plus environment metadata;
+* :func:`format_report` renders a saved artifact back into the
+  per-figure tables.
+
+Exposed on the CLI as ``repro-nbody bench`` and ``repro-nbody report``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Any, Callable
+
+from repro.bench.report import format_table
+
+#: Registry of figure-row generators (lazy imports keep startup light).
+def _generators() -> dict[str, Callable[..., list[dict]]]:
+    from repro.experiments.figures import (
+        fig5_rows,
+        fig6_rows,
+        fig7_rows,
+        fig8_rows,
+        fig9_rows,
+    )
+
+    return {
+        "fig5": fig5_rows,
+        "fig6": fig6_rows,
+        "fig7": fig7_rows,
+        "fig8": fig8_rows,
+        "fig9": fig9_rows,
+    }
+
+
+ARTIFACT_VERSION = 1
+ALL_FIGURES = ("fig5", "fig6", "fig7", "fig8", "fig9")
+
+
+def run_artifact(
+    figures: tuple[str, ...] = ALL_FIGURES,
+    *,
+    max_direct: int = 8000,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, Any]:
+    """Execute the selected figure experiments; returns the artifact."""
+    gens = _generators()
+    unknown = [f for f in figures if f not in gens]
+    if unknown:
+        raise ValueError(f"unknown figures {unknown}; have {sorted(gens)}")
+    artifact: dict[str, Any] = {
+        "artifact_version": ARTIFACT_VERSION,
+        "generated_unix_time": time.time(),
+        "hostname": platform.node(),
+        "python": platform.python_version(),
+        "max_direct": max_direct,
+        "figures": {},
+    }
+    for fig in figures:
+        if progress:
+            progress(f"running {fig} ...")
+        t0 = time.perf_counter()
+        rows = gens[fig](max_direct=max_direct)
+        artifact["figures"][fig] = {
+            "rows": rows,
+            "wall_seconds": time.perf_counter() - t0,
+        }
+    return artifact
+
+
+def save_artifact(artifact: dict[str, Any], path: str | pathlib.Path) -> None:
+    pathlib.Path(path).write_text(json.dumps(artifact, indent=1))
+
+
+def load_artifact(path: str | pathlib.Path) -> dict[str, Any]:
+    artifact = json.loads(pathlib.Path(path).read_text())
+    if artifact.get("artifact_version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"unsupported artifact version {artifact.get('artifact_version')!r}"
+        )
+    return artifact
+
+
+#: Figure titles, mirroring the paper's captions.
+_TITLES = {
+    "fig5": "Figure 5: sequential vs single-socket parallel throughput "
+            "(tiny galaxy, CPUs)",
+    "fig6": "Figure 6: algorithm throughput (small galaxy, all systems)",
+    "fig7": "Figure 7: algorithm throughput (mid galaxy, all systems)",
+    "fig8": "Figure 8: relative execution time of algorithm components "
+            "(GH200, toolchains)",
+    "fig9": "Figure 9: NVC++ vs AdaptiveCpp on GH200",
+}
+
+
+def format_report(artifact: dict[str, Any]) -> str:
+    """Render a saved artifact as the per-figure data-point tables."""
+    lines = [
+        f"artifact from host {artifact.get('hostname', '?')!r} "
+        f"(python {artifact.get('python', '?')}, "
+        f"max_direct={artifact.get('max_direct', '?')})",
+    ]
+    for fig, payload in artifact.get("figures", {}).items():
+        lines.append("")
+        lines.append(format_table(payload["rows"], title=_TITLES.get(fig, fig)))
+        from repro.bench.plots import render_figure
+
+        chart = render_figure(fig, payload["rows"])
+        if chart:
+            lines.append("")
+            lines.append(chart)
+        lines.append(f"[{fig}: {len(payload['rows'])} data points, "
+                     f"{payload['wall_seconds']:.1f}s to generate]")
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""ASCII figure rendering: grouped horizontal bars on a log axis.
+
+The paper's Figures 5-7 are grouped bar charts of throughput per
+(device, algorithm) on a log scale.  ``repro-nbody report`` uses this
+module to render saved artifacts in the same visual shape, directly in
+a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Bar glyph per algorithm, mirroring a legend.
+_BAR = "="
+
+
+def _fmt_thr(v: float | None) -> str:
+    if v is None:
+        return "n/a"
+    if v >= 1e6:
+        return f"{v / 1e6:.2f}M"
+    if v >= 1e3:
+        return f"{v / 1e3:.1f}k"
+    return f"{v:.0f}"
+
+
+def grouped_bars(
+    rows: Iterable[dict],
+    *,
+    group_key: str = "device",
+    label_key: str = "algorithm",
+    value_key: str = "bodies_per_s",
+    width: int = 44,
+    title: str | None = None,
+) -> str:
+    """Render rows as grouped log-scale horizontal bars.
+
+    Rows with ``None`` values render as ``(not supported)`` — the
+    paper's missing bars.
+    """
+    rows = list(rows)
+    values = [r[value_key] for r in rows if r.get(value_key)]
+    if not values:
+        return f"{title}\n(no data)" if title else "(no data)"
+    lo = min(values)
+    hi = max(values)
+    log_lo = math.log10(lo) - 0.05
+    log_span = max(math.log10(hi) - log_lo, 1e-9)
+
+    label_w = max(len(str(r[label_key])) for r in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    current_group = object()
+    for r in rows:
+        if r[group_key] != current_group:
+            current_group = r[group_key]
+            lines.append(f"{current_group}")
+        v = r.get(value_key)
+        label = str(r[label_key]).rjust(label_w)
+        if v:
+            frac = (math.log10(v) - log_lo) / log_span
+            bar = _BAR * max(1, int(round(frac * width)))
+            lines.append(f"  {label} |{bar} {_fmt_thr(v)}")
+        else:
+            lines.append(f"  {label} |(not supported)")
+    lines.append("")
+    lines.append(f"  {'':{label_w}} log scale, {_fmt_thr(lo)} .. {_fmt_thr(hi)} "
+                 f"[{value_key}]")
+    return "\n".join(lines)
+
+
+def render_figure(fig: str, rows: list[dict]) -> str | None:
+    """Figure-specific chart for the artifact report (None = tabular
+    only, e.g. Fig. 8's breakdown)."""
+    if fig in ("fig6", "fig7"):
+        return grouped_bars(rows, title=f"{fig}: throughput by device/algorithm")
+    if fig == "fig5":
+        par = [
+            {**r, "mode": f"{r['algorithm']} (par)",
+             "value": r["par_bodies_per_s"]}
+            for r in rows
+        ]
+        seq = [
+            {**r, "mode": f"{r['algorithm']} (seq)",
+             "value": r["seq_bodies_per_s"]}
+            for r in rows
+        ]
+        merged: list[dict] = []
+        for p, s in zip(par, seq):
+            merged.extend([s, p])
+        return grouped_bars(
+            merged, label_key="mode", value_key="value",
+            title="fig5: sequential vs parallel (CPUs)",
+        )
+    if fig == "fig9":
+        flat: list[dict] = []
+        for r in rows:
+            flat.append({"device": f"N = {r['n']}", "algorithm": f"{r['algorithm']} nvcpp",
+                         "bodies_per_s": r["nvcpp_bodies_per_s"]})
+            flat.append({"device": f"N = {r['n']}", "algorithm": f"{r['algorithm']} acpp",
+                         "bodies_per_s": r["acpp_bodies_per_s"]})
+        return grouped_bars(flat, title="fig9: NVC++ vs AdaptiveCpp on GH200")
+    return None

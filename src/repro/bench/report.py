@@ -1,0 +1,43 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "n/a"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(rows: Iterable[dict], columns: list[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render dict rows as an aligned text table (stable column order)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for r in rows:
+            for k in r:
+                if k not in columns:
+                    columns.append(k)
+    cells = [[_fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

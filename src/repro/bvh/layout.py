@@ -1,0 +1,90 @@
+"""Implicit balanced binary-tree layout for the Hilbert BVH.
+
+With ``P`` (power-of-two) leaves the tree has ``2P - 1`` nodes in heap
+order: node ``k`` has children ``2k+1`` and ``2k+2``; level ``l`` spans
+indices ``[2^l - 1, 2^(l+1) - 1)``.  Everything about the shape is a
+pure function of ``P`` — the paper's "the number of BVH levels, nodes
+per level, and total number of nodes, are predetermined" — so the skip
+(escape) indices are computed once per shape and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.types import INDEX
+
+#: Escape value meaning "traversal finished".
+DONE = -1
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= max(n, 1)."""
+    p = 1
+    while p < max(n, 1):
+        p <<= 1
+    return p
+
+
+@dataclass(frozen=True)
+class BVHLayout:
+    """Shape of a balanced BVH with ``n_leaves`` (power-of-two) leaves."""
+
+    n_leaves: int
+
+    def __post_init__(self) -> None:
+        p = self.n_leaves
+        if p < 1 or (p & (p - 1)) != 0:
+            raise ValueError("n_leaves must be a positive power of two")
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.n_leaves).bit_length()
+
+    @property
+    def n_nodes(self) -> int:
+        return 2 * self.n_leaves - 1
+
+    @property
+    def first_leaf(self) -> int:
+        return self.n_leaves - 1
+
+    def level_slice(self, level: int) -> slice:
+        lo = (1 << level) - 1
+        return slice(lo, 2 * lo + 1)
+
+    def level_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Level of each node index (0 = root)."""
+        return np.int64(np.log2(np.asarray(nodes) + 1))
+
+    def is_leaf(self, nodes) -> np.ndarray:
+        return np.asarray(nodes) >= self.first_leaf
+
+    def first_child(self, nodes) -> np.ndarray:
+        return 2 * np.asarray(nodes) + 1
+
+    def parent(self, nodes) -> np.ndarray:
+        return (np.asarray(nodes) - 1) // 2
+
+
+@lru_cache(maxsize=64)
+def bvh_escape_indices(n_leaves: int) -> np.ndarray:
+    """Skip-list escape index per node (cached per tree shape).
+
+    ``escape[k]`` is the next node in DFS order when ``k``'s subtree is
+    skipped: the right sibling for a left child, else the parent's
+    escape — allowing the multi-level jumps the paper describes.
+    """
+    layout = BVHLayout(n_leaves)
+    n = layout.n_nodes
+    escape = np.full(n, DONE, dtype=INDEX)
+    for level in range(1, layout.n_levels):
+        sl = layout.level_slice(level)
+        k = np.arange(sl.start, sl.stop, dtype=INDEX)
+        left = (k & 1) == 1  # left children are odd in heap order
+        escape[sl] = np.where(left, k + 1, escape[(k - 1) // 2])
+    escape.setflags(write=False)
+    return escape

@@ -1,0 +1,189 @@
+"""Command-line interface: ``repro-nbody``.
+
+Subcommands:
+
+* ``run``      — simulate a workload and print conservation diagnostics;
+* ``devices``  — list the Table I device catalog;
+* ``triad``    — reproduce Table I's BabelStream TRIAD column;
+* ``project``  — measure a pipeline and project throughput on a device;
+* ``validate`` — the Section V-A solar-system validation experiment;
+* ``bench`` / ``report`` — the Appendix A artifact workflow: run the
+  figure experiments into a JSON artifact, then render its tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--algorithm", default="octree",
+                   choices=["all-pairs", "all-pairs-col", "octree", "bvh",
+                            "octree-2stage"])
+    p.add_argument("--n", type=int, default=10_000, help="number of bodies")
+    p.add_argument("--theta", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workload", default="galaxy",
+                   choices=["galaxy", "plummer", "uniform", "solar"])
+
+
+def _make_system(args):
+    from repro.workloads import galaxy_collision, plummer_sphere, solar_system, uniform_cube
+
+    if args.workload == "galaxy":
+        return galaxy_collision(args.n, seed=args.seed)
+    if args.workload == "plummer":
+        return plummer_sphere(args.n, seed=args.seed)
+    if args.workload == "uniform":
+        return uniform_cube(args.n, seed=args.seed)
+    return solar_system(args.n, seed=args.seed)
+
+
+def _cmd_run(args) -> int:
+    from repro import Simulation, SimulationConfig
+    from repro.physics import GravityParams, energy_report
+    from repro.workloads.solar import SOLAR_GRAVITY
+
+    gravity = SOLAR_GRAVITY if args.workload == "solar" else GravityParams(softening=0.05)
+    system = _make_system(args)
+    cfg = SimulationConfig(algorithm=args.algorithm, theta=args.theta,
+                           dt=args.dt, gravity=gravity)
+    e0 = energy_report(system, gravity) if system.n <= 20_000 else None
+    sim = Simulation(system, cfg)
+    rep = sim.run(args.steps)
+    print(f"algorithm={args.algorithm} n={system.n} steps={args.steps} "
+          f"wall={rep.wall_seconds:.3f}s "
+          f"({system.n * args.steps / max(rep.wall_seconds, 1e-12):.3g} bodies/s)")
+    for step, sec in sorted(rep.seconds.items()):
+        print(f"  {step:16s} {sec:.4f}s")
+    if e0 is not None:
+        e1 = energy_report(system, gravity)
+        print(f"energy drift: {e1.drift_from(e0):.3e}  "
+              f"(E0={e0.total:.6g}, E1={e1.total:.6g})")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    from repro.bench import format_table
+    from repro.machine import DEVICES
+
+    rows = [
+        {
+            "key": d.key, "name": d.name, "kind": d.kind.value,
+            "th_GB/s": d.theoretical_bw_gbs, "meas_GB/s": d.measured_bw_gbs,
+            "fp64_GF": d.peak_fp64_gflops, "progress": d.progress.name,
+            "ITS": d.has_its, "toolchains": ",".join(d.toolchains),
+        }
+        for d in DEVICES.values()
+    ]
+    print(format_table(rows, title="Table I device catalog"))
+    return 0
+
+
+def _cmd_triad(args) -> int:
+    from repro.machine.babelstream import format_triad_table, triad_table
+
+    print(format_triad_table(triad_table(n=args.elements)))
+    return 0
+
+
+def _cmd_project(args) -> int:
+    from repro.bench import format_table, measure_pipeline, project_throughput
+    from repro.core.config import SimulationConfig
+    from repro.machine import get_device
+    from repro.physics import GravityParams
+
+    cfg = SimulationConfig(theta=args.theta, gravity=GravityParams(softening=0.05))
+    run = measure_pipeline(
+        lambda n: _make_system(argparse.Namespace(**{**vars(args), "n": n})),
+        args.algorithm, args.n, config=cfg,
+    )
+    rows = []
+    for key in args.device:
+        d = get_device(key)
+        rows.append({
+            "device": d.name,
+            "throughput_bodies_per_s": project_throughput(run, d),
+            "sequential": project_throughput(run, d, sequential=True),
+        })
+    rows.append({"device": "host (wall clock)",
+                 "throughput_bodies_per_s": run.host_throughput})
+    print(format_table(rows, title=f"{args.algorithm} @ N={args.n}"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.artifact import run_artifact, save_artifact
+
+    artifact = run_artifact(
+        tuple(args.figure), max_direct=args.max_direct, progress=print
+    )
+    save_artifact(artifact, args.out)
+    total = sum(len(f["rows"]) for f in artifact["figures"].values())
+    print(f"wrote {total} data points to {args.out}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.artifact import format_report, load_artifact
+
+    print(format_report(load_artifact(args.artifact)))
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.validation import run_validation
+
+    res = run_validation(n=args.n, steps=args.steps)
+    print(res.summary())
+    return 0 if res.passed else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-nbody", description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("run", help="run a simulation")
+    _add_common(p)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--dt", type=float, default=1e-3)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("devices", help="list the device catalog")
+    p.set_defaults(fn=_cmd_devices)
+
+    p = sub.add_parser("triad", help="BabelStream TRIAD (Table I)")
+    p.add_argument("--elements", type=int, default=2**24)
+    p.set_defaults(fn=_cmd_triad)
+
+    p = sub.add_parser("project", help="project throughput on devices")
+    _add_common(p)
+    p.add_argument("--device", nargs="+", default=["gh200"])
+    p.set_defaults(fn=_cmd_project)
+
+    p = sub.add_parser("validate", help="solar-system validation (Sec V-A)")
+    p.add_argument("--n", type=int, default=4000)
+    p.add_argument("--steps", type=int, default=24)
+    p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("bench", help="run figure experiments -> JSON artifact")
+    p.add_argument("--figure", nargs="+",
+                   default=["fig5", "fig6", "fig7", "fig8", "fig9"],
+                   choices=["fig5", "fig6", "fig7", "fig8", "fig9"])
+    p.add_argument("--out", default="artifact.json")
+    p.add_argument("--max-direct", type=int, default=8000)
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("report", help="render a saved artifact's tables")
+    p.add_argument("artifact")
+    p.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The simulation engine: paper Algorithm 2 / Algorithm 6 time loops.
+
+A :class:`~repro.core.simulation.Simulation` binds a
+:class:`~repro.physics.bodies.BodySystem` to one of the four force
+algorithms (All-Pairs, All-Pairs-Col, Concurrent Octree, Hilbert BVH)
+and advances it with Störmer-Verlet integration, attributing operation
+counts and wall-clock time to the paper's pipeline steps
+(CALCULATEBOUNDINGBOX, HILBERTSORT, BUILDTREE, CALCULATEMULTIPOLES,
+CALCULATEFORCE, UPDATEPOSITION).
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.algorithms import (
+    ForceAlgorithm,
+    get_algorithm,
+    list_algorithms,
+    ALGORITHMS,
+)
+from repro.core.simulation import Simulation, StepReport
+
+__all__ = [
+    "SimulationConfig",
+    "ForceAlgorithm",
+    "get_algorithm",
+    "list_algorithms",
+    "ALGORITHMS",
+    "Simulation",
+    "StepReport",
+]

@@ -1,0 +1,307 @@
+"""Force algorithms behind a common interface.
+
+Each algorithm implements the per-timestep force pipeline with the
+paper's step structure, charging work to the context's step counters:
+
+==============  =====================================================
+step name       paper step
+==============  =====================================================
+bounding_box    CALCULATEBOUNDINGBOX (Alg. 3 transform_reduce)
+sort            HILBERTSORT (BVH only, Alg. 7)
+build_tree      BUILDTREE / BUILDTREEACCUMULATEMASS
+multipoles      CALCULATEMULTIPOLES (octree only; fused for BVH)
+force           CALCULATEFORCE
+update_position UPDATEPOSITION (charged by the Simulation)
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.errors import ForwardProgressError
+from repro.geometry.aabb import AABB, compute_bounding_box
+from repro.physics.bodies import BodySystem
+from repro.stdpar.algorithms import transform_reduce
+from repro.stdpar.context import ExecutionContext
+from repro.stdpar.policy import par, par_unseq
+from repro.stdpar.progress import ForwardProgress
+
+
+class ForceAlgorithm(ABC):
+    """One of the paper's four evaluated algorithms."""
+
+    #: Registry name (matches the figures' legend).
+    name: str = ""
+    #: Asymptotic complexity class, for reporting.
+    complexity: str = ""
+    #: Strongest forward-progress guarantee any phase requires.
+    required_progress: ForwardProgress = ForwardProgress.WEAKLY_PARALLEL
+    #: Does any phase use atomics (and therefore the ``par`` policy)?
+    uses_atomics: bool = False
+
+    def supports(self, device, config: SimulationConfig) -> bool:
+        """Can this algorithm run on *device* at all? (Paper Fig. 6:
+        Octree only runs on CPUs and NVIDIA GPUs.)"""
+        if device.progress.satisfies(self.required_progress):
+            return True
+        return self.allows_unsafe_relax and config.unsafe_relax_policy
+
+    #: Whether the paper's par→par_unseq UB workaround applies.
+    allows_unsafe_relax: bool = False
+
+    @abstractmethod
+    def accelerations(
+        self,
+        system: BodySystem,
+        config: SimulationConfig,
+        ctx: ExecutionContext,
+        cache: dict | None = None,
+    ) -> np.ndarray:
+        """Accelerations of all bodies at the current positions.
+
+        *cache*, when provided by the caller (one dict per simulation),
+        lets tree algorithms reuse structure across timesteps
+        (``config.tree_reuse_steps``); stateless algorithms ignore it.
+        """
+
+    # ------------------------------------------------------------------
+    def _bounding_box(self, system: BodySystem, ctx: ExecutionContext) -> AABB:
+        """CALCULATEBOUNDINGBOX as a stdpar transform_reduce (Alg. 3)."""
+        with ctx.step("bounding_box"):
+            x = system.x
+            return transform_reduce(
+                par_unseq,
+                system.n,
+                AABB.empty(system.dim),
+                lambda a, b: a.merge(b),
+                lambda i: AABB(x[i], x[i]),
+                ctx,
+                batch=lambda _idx: compute_bounding_box(x),
+                flops_per_item=2.0 * system.dim,
+                bytes_per_item=8.0 * system.dim,
+            )
+
+
+class AllPairs(ForceAlgorithm):
+    """Classical O(N²), ``par_unseq`` over bodies."""
+
+    name = "all-pairs"
+    complexity = "O(N^2)"
+    required_progress = ForwardProgress.WEAKLY_PARALLEL
+    uses_atomics = False
+
+    def accelerations(self, system, config, ctx, cache=None):
+        from repro.allpairs.classic import allpairs_accelerations
+
+        with ctx.step("force"):
+            return allpairs_accelerations(system.x, system.m, config.gravity, ctx=ctx)
+
+
+class AllPairsCol(ForceAlgorithm):
+    """O(N²) over pairs with atomic accumulation, ``par``."""
+
+    name = "all-pairs-col"
+    complexity = "O(N^2)"
+    required_progress = ForwardProgress.PARALLEL
+    uses_atomics = True
+    allows_unsafe_relax = True
+
+    def accelerations(self, system, config, ctx, cache=None):
+        from repro.allpairs.collision import allpairs_col_accelerations
+
+        with ctx.step("force"):
+            if config.unsafe_relax_policy and not ctx.device.progress.satisfies(
+                ForwardProgress.PARALLEL
+            ):
+                # The paper's AMD/Intel workaround: run the
+                # value-equivalent batch under par_unseq semantics.
+                from repro.physics.gravity import pairwise_accelerations
+
+                acc = pairwise_accelerations(system.x, system.m, config.gravity)
+                self._account_relaxed(system, ctx)
+                return acc
+            return allpairs_col_accelerations(system.x, system.m, config.gravity, ctx=ctx)
+
+    @staticmethod
+    def _account_relaxed(system, ctx):
+        from repro.physics.gravity import FLOPS_PER_INTERACTION, SPECIAL_PER_INTERACTION
+
+        n, dim = system.n, system.dim
+        n_pairs = n * (n - 1) / 2
+        ctx.counters.add(
+            flops=n_pairs * (FLOPS_PER_INTERACTION * 0.5 + 2.0 * dim),
+            special_flops=n_pairs * SPECIAL_PER_INTERACTION * 0.5,
+            atomic_ops=2.0 * dim * n_pairs,
+            loop_iterations=n_pairs,
+            kernel_launches=1.0,
+            bytes_read=(dim + 1) * 8.0 * n,
+            bytes_written=dim * 8.0 * n,
+        )
+
+
+class OctreeAlgorithm(ForceAlgorithm):
+    """Concurrent Octree Barnes-Hut (paper Section IV-A)."""
+
+    name = "octree"
+    complexity = "O(N log N)"
+    required_progress = ForwardProgress.PARALLEL  # build + multipoles use par
+    uses_atomics = True
+
+    def accelerations(self, system, config, ctx, cache=None):
+        from repro.octree.build_concurrent import build_octree_concurrent
+        from repro.octree.build_vectorized import build_octree_vectorized
+        from repro.octree.force import octree_accelerations
+        from repro.octree.multipoles import (
+            compute_multipoles_concurrent,
+            compute_multipoles_vectorized,
+        )
+
+        if not ctx.device.progress.satisfies(ForwardProgress.PARALLEL):
+            if ctx.on_progress_violation == "raise":
+                raise ForwardProgressError(
+                    f"Concurrent Octree requires parallel forward progress; "
+                    f"device {ctx.device.name!r} provides only "
+                    f"{ctx.device.progress.name} (paper Section V-B: hangs)"
+                )
+        pool = _cached_structure(cache, "octree", config)
+        if pool is None:
+            box = self._bounding_box(system, ctx)
+            with ctx.step("build_tree"):
+                if ctx.backend == "reference":
+                    pool = build_octree_concurrent(
+                        system.x, bits=config.bits, box=box, ctx=ctx
+                    )
+                else:
+                    pool = build_octree_vectorized(
+                        system.x, bits=config.bits, box=box, ctx=ctx
+                    )
+            _store_structure(cache, "octree", pool)
+        with ctx.step("multipoles"):
+            if ctx.backend == "reference":
+                compute_multipoles_concurrent(pool, system.x, system.m, ctx,
+                                              order=config.multipole_order)
+            else:
+                compute_multipoles_vectorized(pool, system.x, system.m, ctx,
+                                              order=config.multipole_order)
+        with ctx.step("force"):
+            return octree_accelerations(
+                pool, system.x, system.m, config.gravity,
+                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+            )
+
+
+class BVHAlgorithm(ForceAlgorithm):
+    """Hilbert-sorted balanced BVH (paper Section IV-B)."""
+
+    name = "bvh"
+    complexity = "O(N log N)"
+    required_progress = ForwardProgress.WEAKLY_PARALLEL  # par_unseq only
+    uses_atomics = False
+
+    def accelerations(self, system, config, ctx, cache=None):
+        from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
+        from repro.bvh.force import bvh_accelerations
+
+        cached = _cached_structure(cache, "bvh", config)
+        if cached is not None:
+            perm, box = cached
+        else:
+            box = self._bounding_box(system, ctx)
+            # HILBERTSORT and the fused build are separate steps so
+            # Fig. 8's component breakdown can be reproduced.
+            with ctx.step("sort"):
+                perm = hilbert_sort_permutation(
+                    system.x, box, bits=config.bits, ctx=ctx, curve=config.curve
+                )
+            _store_structure(cache, "bvh", (perm, box))
+        with ctx.step("build_tree"):
+            bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
+                               order=config.multipole_order)
+        with ctx.step("force"):
+            return bvh_accelerations(
+                bvh, config.gravity,
+                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+            )
+
+
+class TwoStageOctreeAlgorithm(ForceAlgorithm):
+    """Two-stage octree (Burtscher-Pingali [29] via Thüring et al. [22]).
+
+    The comparator the paper validates against: a single work-group
+    serializes the contended top of the tree, then independent subtrees
+    build in parallel.  No global locks, so — unlike the Concurrent
+    Octree — it runs under weakly parallel forward progress on *any*
+    GPU, paying for that portability with the serial first stage.
+    """
+
+    name = "octree-2stage"
+    complexity = "O(N log N)"
+    required_progress = ForwardProgress.WEAKLY_PARALLEL
+    uses_atomics = False  # work-group-local synchronization only
+
+    def accelerations(self, system, config, ctx, cache=None):
+        from repro.octree.build_twostage import build_octree_twostage
+        from repro.octree.force import octree_accelerations
+        from repro.octree.multipoles import compute_multipoles_vectorized
+
+        pool = _cached_structure(cache, "octree-2stage", config)
+        if pool is None:
+            box = self._bounding_box(system, ctx)
+            with ctx.step("build_tree"):
+                pool = build_octree_twostage(
+                    system.x, bits=config.bits, box=box, ctx=ctx
+                )
+            _store_structure(cache, "octree-2stage", pool)
+        with ctx.step("multipoles"):
+            compute_multipoles_vectorized(
+                pool, system.x, system.m, ctx,
+                order=config.multipole_order, account="levelwise",
+            )
+        with ctx.step("force"):
+            return octree_accelerations(
+                pool, system.x, system.m, config.gravity,
+                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+            )
+
+
+def _cached_structure(cache: dict | None, key: str, config: SimulationConfig):
+    """Return the cached tree structure if it is still fresh enough."""
+    if cache is None or config.tree_reuse_steps <= 1:
+        return None
+    entry = cache.get(key)
+    if entry is None or entry["age"] >= config.tree_reuse_steps:
+        return None
+    entry["age"] += 1
+    return entry["structure"]
+
+
+def _store_structure(cache: dict | None, key: str, structure) -> None:
+    if cache is not None:
+        cache[key] = {"structure": structure, "age": 1}
+
+
+ALGORITHMS: dict[str, ForceAlgorithm] = {
+    a.name: a
+    for a in (
+        AllPairs(),
+        AllPairsCol(),
+        OctreeAlgorithm(),
+        BVHAlgorithm(),
+        TwoStageOctreeAlgorithm(),
+    )
+}
+
+
+def get_algorithm(name: str) -> ForceAlgorithm:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(f"unknown algorithm {name!r}; have {sorted(ALGORITHMS)}") from None
+
+
+def list_algorithms() -> list[str]:
+    return list(ALGORITHMS)

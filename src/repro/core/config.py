@@ -1,0 +1,77 @@
+"""Simulation configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.physics.gravity import GravityParams
+
+#: Algorithm identifiers: the paper's four evaluated algorithms plus
+#: the two-stage comparator (Thüring et al. [22], the solver Section
+#: V-A validates against).
+ALGORITHM_NAMES = ("all-pairs", "all-pairs-col", "octree", "bvh", "octree-2stage")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that parameterizes one run.
+
+    Defaults mirror the paper's experimental setup (Section V-A):
+    double precision throughout, ``theta = 0.5``.
+    """
+
+    algorithm: str = "octree"
+    #: Barnes-Hut opening angle (distance threshold).  Note the octree
+    #: and BVH interpret it differently (end of paper Section IV-B).
+    theta: float = 0.5
+    #: Time step for Störmer-Verlet integration.
+    dt: float = 1e-3
+    gravity: GravityParams = field(default_factory=GravityParams)
+    #: Maximum tree refinement depth / Hilbert grid bits (None = dtype max).
+    bits: int | None = None
+    #: Space-filling curve for the BVH sort ('hilbert' per the paper;
+    #: 'morton' enables the ordering ablation).
+    curve: str = "hilbert"
+    #: Multipole expansion order: 1 = monopole (the paper's exposition),
+    #: 2 = + traceless quadrupoles ("the algorithms described here
+    #: extend to multipoles").  Order 2 is 3-D only.
+    multipole_order: int = 1
+    #: Rebuild the tree only every k-th timestep, reusing the structure
+    #: (octree: leaf assignment; BVH: Hilbert order) in between while
+    #: recomputing moments from current positions each step — the
+    #: amortization of Iwasawa et al. [30] that the paper's related work
+    #: notes "can be applied to any Barnes-Hut implementation".  1 =
+    #: rebuild every step (the paper's configuration).
+    tree_reuse_steps: int = 1
+    #: SIMT width used for the divergence statistics of the lockstep
+    #: force kernels (matches the warp width of the modeled GPU).
+    simt_width: int = 32
+    #: All-Pairs-Col only: knowingly replace par by par_unseq on devices
+    #: without parallel forward progress, as the paper did on AMD/Intel
+    #: GPUs ("this requires introducing undefined behavior").  Our batch
+    #: path is value-equivalent, so the result stays correct; only the
+    #: modeled semantics change.
+    unsafe_relax_policy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHM_NAMES:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHM_NAMES}"
+            )
+        if self.theta < 0:
+            raise ConfigurationError("theta must be non-negative")
+        if self.dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if self.curve not in ("hilbert", "morton"):
+            raise ConfigurationError("curve must be 'hilbert' or 'morton'")
+        if self.multipole_order not in (1, 2):
+            raise ConfigurationError("multipole_order must be 1 or 2")
+        if not isinstance(self.tree_reuse_steps, int) or self.tree_reuse_steps < 1:
+            raise ConfigurationError("tree_reuse_steps must be an integer >= 1")
+        if self.simt_width < 1:
+            raise ConfigurationError("simt_width must be >= 1")
+
+    def with_(self, **kw) -> "SimulationConfig":
+        """Functional update helper."""
+        return replace(self, **kw)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the stdpar-nbody reproduction.
+
+The error types mirror the failure modes discussed in the paper:
+
+* :class:`VectorizationUnsafeError` — a kernel used an operation that the
+  C++ standard classifies as *vectorization-unsafe* (atomics, locks)
+  while executing under the ``par_unseq`` policy
+  ([algorithms.parallel.defns] in ISO C++20, Section II of the paper).
+* :class:`ForwardProgressError` — an algorithm that requires *parallel
+  forward progress* (starvation-free critical sections, i.e. the
+  Concurrent Octree build) was offloaded to a device that only provides
+  *weakly parallel* forward progress (a GPU without Independent Thread
+  Scheduling).  On real hardware this manifests as a hang (Section V-B);
+  we detect and raise instead.
+* :class:`LivelockDetected` — the cooperative scheduler observed that no
+  virtual thread can make progress under the configured scheduling mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific exceptions."""
+
+
+class VectorizationUnsafeError(ReproError):
+    """Raised when a vectorization-unsafe operation (atomic, lock) is
+    attempted from a kernel executing under ``par_unseq``."""
+
+
+class ForwardProgressError(ReproError):
+    """Raised when an algorithm's forward-progress requirements exceed the
+    guarantees provided by the target device."""
+
+
+class LivelockDetected(ReproError):
+    """Raised by the virtual-thread scheduler when the configured
+    scheduling mode cannot make progress (e.g. a lock holder is never
+    rescheduled under strict lockstep execution)."""
+
+
+class AllocatorExhausted(ReproError):
+    """Raised when the octree bump allocator runs out of reserved nodes."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid simulation or experiment configuration."""
+
+
+class DeviceNotSupported(ReproError):
+    """Raised when an algorithm cannot run on the requested device at all
+    (e.g. Octree on a no-ITS GPU, mirroring paper Section V-B)."""

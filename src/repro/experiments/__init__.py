@@ -1,0 +1,27 @@
+"""Experiment drivers shared by the CLI and the benchmark suite.
+
+Each paper table/figure has a driver here that produces its rows; the
+``benchmarks/`` directory wraps these in pytest-benchmark entry points
+and EXPERIMENTS.md records the outputs against the paper's claims.
+"""
+
+from repro.experiments.validation import ValidationResult, run_validation
+from repro.experiments.figures import (
+    fig5_rows,
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    measure_galaxy_runs,
+)
+
+__all__ = [
+    "ValidationResult",
+    "run_validation",
+    "fig5_rows",
+    "fig6_rows",
+    "fig7_rows",
+    "fig8_rows",
+    "fig9_rows",
+    "measure_galaxy_runs",
+]

@@ -1,0 +1,143 @@
+"""Row generators for the paper's figures.
+
+Each function measures the galaxy-collision pipeline on the host and
+projects it onto the relevant slice of the device catalog, returning
+the list-of-dicts that the corresponding ``benchmarks/bench_fig*.py``
+prints (and that EXPERIMENTS.md records).
+
+The paper's sizes are kept (tiny = 1e4, small = 1e5, mid = 1e6); sizes
+beyond ``max_direct`` are measured on a size ladder and power-law
+extrapolated (see :mod:`repro.bench.extrapolate`).
+"""
+
+from __future__ import annotations
+
+from repro.bench import MeasuredRun, measure_pipeline, project_throughput
+from repro.core.config import SimulationConfig
+from repro.machine import get_device, list_devices
+from repro.machine.costmodel import CostModel
+from repro.machine.device import DeviceKind
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+ALGS = ("all-pairs", "all-pairs-col", "octree", "bvh")
+
+#: Default direct-execution cap; figure benches lower it for speed.
+DEFAULT_MAX_DIRECT = 12_000
+
+
+def _config() -> SimulationConfig:
+    # theta = 0.5 and FP64 per Section V-A; softened gravity for the
+    # galaxy workload.
+    return SimulationConfig(theta=0.5, gravity=GravityParams(softening=0.05))
+
+
+def measure_galaxy_runs(
+    n: int,
+    algorithms=ALGS,
+    *,
+    max_direct: int = DEFAULT_MAX_DIRECT,
+    seed: int = 0,
+) -> dict[str, MeasuredRun]:
+    """Measured per-timestep pipelines for the galaxy workload."""
+    cfg = _config()
+    mk = lambda k: galaxy_collision(k, seed=seed)
+    return {
+        alg: measure_pipeline(mk, alg, n, config=cfg, max_direct=max_direct)
+        for alg in algorithms
+    }
+
+
+# ----------------------------------------------------------------------
+def fig5_rows(*, n: int = 10_000, max_direct: int = DEFAULT_MAX_DIRECT) -> list[dict]:
+    """Fig. 5: single-core sequential vs single-socket parallel
+    throughput, tiny galaxy workload, CPUs only."""
+    runs = measure_galaxy_runs(n, max_direct=max_direct)
+    rows = []
+    for d in list_devices(DeviceKind.CPU):
+        for alg, r in runs.items():
+            seq = project_throughput(r, d, sequential=True)
+            par = project_throughput(r, d)
+            rows.append({
+                "figure": "fig5", "device": d.name, "algorithm": alg, "n": r.n,
+                "seq_bodies_per_s": seq, "par_bodies_per_s": par,
+                "speedup": (par / seq) if (par and seq) else None,
+            })
+    return rows
+
+
+def _throughput_rows(figure: str, n: int, max_direct: int,
+                     algorithms=ALGS) -> list[dict]:
+    runs = measure_galaxy_runs(n, algorithms, max_direct=max_direct)
+    rows = []
+    for d in list_devices():
+        for alg, r in runs.items():
+            rows.append({
+                "figure": figure, "device": d.name, "kind": d.kind.value,
+                "algorithm": alg, "n": r.n,
+                "bodies_per_s": project_throughput(r, d),
+            })
+    return rows
+
+
+def fig6_rows(*, n: int = 100_000, max_direct: int = DEFAULT_MAX_DIRECT) -> list[dict]:
+    """Fig. 6: algorithm throughput, small galaxy workload, all devices."""
+    return _throughput_rows("fig6", n, max_direct)
+
+
+def fig7_rows(*, n: int = 1_000_000, max_direct: int = DEFAULT_MAX_DIRECT) -> list[dict]:
+    """Fig. 7: algorithm throughput, mid galaxy workload, all devices."""
+    return _throughput_rows("fig7", n, max_direct)
+
+
+# ----------------------------------------------------------------------
+def fig8_rows(*, n: int = 100_000, max_direct: int = DEFAULT_MAX_DIRECT) -> list[dict]:
+    """Fig. 8: relative execution time of the non-force pipeline steps
+    on GH200 (CPU = Grace, GPU = GH200) across toolchains."""
+    runs = measure_galaxy_runs(n, ("octree", "bvh"), max_direct=max_direct)
+    targets = [
+        ("grace", "gcc"), ("grace", "clang"), ("grace", "acpp"),
+        ("gh200", "nvcpp"), ("gh200", "acpp"),
+    ]
+    rows = []
+    for key, tc in targets:
+        d = get_device(key)
+        for alg, r in runs.items():
+            model = CostModel(d, toolchain=tc)
+            times = model.step_times(r.counters)
+            non_force = {k: v for k, v in times.items()
+                         if k not in ("force",)}
+            total = sum(times.values())
+            for step, t in sorted(non_force.items()):
+                rows.append({
+                    "figure": "fig8", "device": d.name, "toolchain": tc,
+                    "algorithm": alg, "step": step,
+                    "seconds": t, "fraction_of_total": t / total if total else None,
+                })
+    return rows
+
+
+def fig9_rows(
+    *,
+    sizes=(10_000, 30_000, 100_000, 300_000, 1_000_000),
+    max_direct: int = DEFAULT_MAX_DIRECT,
+) -> list[dict]:
+    """Fig. 9: AdaptiveCpp vs NVC++ on GH200 over a size sweep."""
+    d = get_device("gh200")
+    rows = []
+    for n in sizes:
+        runs = measure_galaxy_runs(n, ("octree", "bvh"), max_direct=max_direct)
+        for alg, r in runs.items():
+            thr = {
+                tc: project_throughput(r, d, toolchain=tc)
+                for tc in ("nvcpp", "acpp")
+            }
+            ratio = (thr["nvcpp"] / thr["acpp"]
+                     if thr["nvcpp"] and thr["acpp"] else None)
+            rows.append({
+                "figure": "fig9", "device": d.name, "algorithm": alg, "n": n,
+                "nvcpp_bodies_per_s": thr["nvcpp"],
+                "acpp_bodies_per_s": thr["acpp"],
+                "ratio": ratio,
+            })
+    return rows

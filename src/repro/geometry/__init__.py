@@ -1,0 +1,44 @@
+"""Spatial primitives: bounding boxes, Morton codes, Hilbert curves.
+
+These are the geometric substrates of both tree strategies:
+
+* the Concurrent Octree subdivides the global bounding box isotropically
+  and orders children in Morton order (paper Fig. 1);
+* the Hilbert BVH grids bodies on the coarsest equidistant Cartesian
+  grid and sorts them by the Hilbert index of their grid cell, computed
+  with Skilling's Gray-code algorithm (paper Section IV-B).
+"""
+
+from repro.geometry.aabb import (
+    AABB,
+    compute_bounding_box,
+    cubify,
+    quantize_to_grid,
+)
+from repro.geometry.morton import (
+    morton_decode,
+    morton_encode,
+    MAX_BITS_2D,
+    MAX_BITS_3D,
+)
+from repro.geometry.hilbert import (
+    hilbert_decode,
+    hilbert_encode,
+    axes_to_transpose,
+    transpose_to_axes,
+)
+
+__all__ = [
+    "AABB",
+    "compute_bounding_box",
+    "cubify",
+    "quantize_to_grid",
+    "morton_encode",
+    "morton_decode",
+    "MAX_BITS_2D",
+    "MAX_BITS_3D",
+    "hilbert_encode",
+    "hilbert_decode",
+    "axes_to_transpose",
+    "transpose_to_axes",
+]

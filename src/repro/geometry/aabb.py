@@ -1,0 +1,138 @@
+"""Axis-aligned bounding boxes and the CALCULATEBOUNDINGBOX step.
+
+The paper's first pipeline stage (Algorithm 3) is a parallel
+``transform_reduce`` over all body positions producing the smallest box
+containing every body.  Here we provide the box type plus the plain
+vectorized reduction; :mod:`repro.core.steps` wires the same computation
+through the stdpar layer so that execution-policy semantics and operation
+counting apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import FLOAT, validate_positions
+
+
+@dataclass(frozen=True)
+class AABB:
+    """An axis-aligned bounding box ``[lo, hi]`` (inclusive).
+
+    Empty boxes are represented with ``lo = +inf, hi = -inf`` so that
+    merging is the identity, matching the reduction initial value in
+    paper Algorithm 3 (``vec::max(), vec::min()``).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lo", np.asarray(self.lo, dtype=FLOAT))
+        object.__setattr__(self, "hi", np.asarray(self.hi, dtype=FLOAT))
+        if self.lo.shape != self.hi.shape or self.lo.ndim != 1:
+            raise ValueError("AABB lo/hi must be equal-shape 1-D vectors")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, dim: int) -> "AABB":
+        return cls(np.full(dim, np.inf), np.full(dim, -np.inf))
+
+    @classmethod
+    def from_points(cls, x: np.ndarray) -> "AABB":
+        x = validate_positions(x)
+        if x.shape[0] == 0:
+            return cls.empty(x.shape[1])
+        return cls(x.min(axis=0), x.max(axis=0))
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def is_empty(self) -> bool:
+        return bool(np.any(self.lo > self.hi))
+
+    @property
+    def extent(self) -> np.ndarray:
+        """Per-axis side lengths (zero for an empty box)."""
+        return np.maximum(self.hi - self.lo, 0.0)
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def longest_side(self) -> float:
+        return float(self.extent.max(initial=0.0))
+
+    def merge(self, other: "AABB") -> "AABB":
+        """Reduce two boxes into one (the reduction operator of Alg. 3)."""
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def contains(self, pts: np.ndarray, *, atol: float = 0.0) -> np.ndarray:
+        """Vectorized membership test for an ``(N, dim)`` point array."""
+        pts = np.asarray(pts, dtype=FLOAT)
+        return np.all((pts >= self.lo - atol) & (pts <= self.hi + atol), axis=-1)
+
+    def expanded(self, rel: float = 1e-12) -> "AABB":
+        """Slightly inflated copy so boundary points quantize strictly inside."""
+        pad = rel * np.maximum(self.extent, 1.0)
+        return AABB(self.lo - pad, self.hi + pad)
+
+    def __eq__(self, other: object) -> bool:  # dataclass eq breaks on arrays
+        if not isinstance(other, AABB):
+            return NotImplemented
+        return bool(np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi))
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+
+def compute_bounding_box(x: np.ndarray) -> AABB:
+    """The CALCULATEBOUNDINGBOX step as a single vectorized reduction.
+
+    Semantically identical to paper Algorithm 3's ``transform_reduce``
+    with ``par_unseq``: map each body to a degenerate box, reduce by
+    min/max merge.
+    """
+    return AABB.from_points(x)
+
+
+def cubify(box: AABB) -> AABB:
+    """Grow *box* into the smallest cube sharing its lower corner center.
+
+    Both strategies subdivide isotropically, so the root cell must be a
+    (hyper-)cube: the octree halves every axis per level, and the Hilbert
+    grid of Section IV-B is "the coarsest equidistant Cartesian grid"
+    capable of holding all bodies.
+    """
+    if box.is_empty:
+        return box
+    side = box.longest_side
+    half = 0.5 * side
+    c = box.center
+    return AABB(c - half, c + half)
+
+
+def quantize_to_grid(x: np.ndarray, box: AABB, bits: int) -> np.ndarray:
+    """Map positions to integer grid coordinates in ``[0, 2**bits)``.
+
+    The grid is the equidistant Cartesian grid over the cubified,
+    slightly expanded bounding box.  Returns an ``(N, dim)`` ``uint64``
+    array.  Points exactly on the upper boundary are clamped into the
+    last cell.
+    """
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    x = validate_positions(x)
+    cube = cubify(box).expanded()
+    n_cells = np.uint64(1) << np.uint64(bits)
+    extent = np.maximum(cube.extent, np.finfo(FLOAT).tiny)
+    scaled = (x - cube.lo) / extent * float(n_cells)
+    grid = np.floor(scaled)
+    np.clip(grid, 0, float(n_cells) - 1.0, out=grid)
+    return grid.astype(np.uint64)

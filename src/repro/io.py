@@ -1,0 +1,59 @@
+"""Snapshot and trajectory persistence.
+
+The C++ artifact generates its datasets on the fly; a reusable library
+also needs to save and restore body states (e.g. to checkpoint a long
+collision run or to exchange initial conditions).  Snapshots are
+``.npz`` archives holding the SoA arrays plus a small metadata header;
+everything is exact (no precision loss) and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.physics.bodies import BodySystem
+
+#: Snapshot format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+
+def save_snapshot(
+    path: str | pathlib.Path,
+    system: BodySystem,
+    *,
+    time: float = 0.0,
+    metadata: dict[str, Any] | None = None,
+) -> None:
+    """Write *system* to ``path`` (.npz, exact FP64)."""
+    header = {
+        "format_version": FORMAT_VERSION,
+        "n": system.n,
+        "dim": system.dim,
+        "time": float(time),
+        "metadata": metadata or {},
+    }
+    np.savez_compressed(
+        path,
+        x=system.x,
+        v=system.v,
+        m=system.m,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+
+
+def load_snapshot(path: str | pathlib.Path) -> tuple[BodySystem, dict[str, Any]]:
+    """Read a snapshot; returns ``(system, header)``."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"]).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {header.get('format_version')!r}"
+            )
+        system = BodySystem(data["x"].copy(), data["v"].copy(), data["m"].copy())
+    if system.n != header["n"] or system.dim != header["dim"]:
+        raise ValueError("snapshot header inconsistent with arrays")
+    return system, header

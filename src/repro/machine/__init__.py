@@ -1,0 +1,40 @@
+"""Simulated hardware substrate.
+
+The paper evaluates on twelve CPU/GPU systems (Table I).  This package
+provides the stand-in: a device catalog with the published parameters
+(bandwidth, core counts, SIMT width, Independent Thread Scheduling), an
+operation-counter infrastructure that every algorithm feeds, and a
+roofline-style cost model that converts counters into predicted runtimes
+on each device.  ``babelstream`` reproduces the TRIAD validation column
+of Table I against the model.
+"""
+
+from repro.machine.counters import Counters, StepCounters
+from repro.machine.device import Device, DeviceKind
+from repro.machine.catalog import DEVICES, get_device, list_devices, HOST
+from repro.machine.costmodel import CostModel, predict_time
+
+
+def __getattr__(name: str):
+    # babelstream pulls in the stdpar layer, which itself imports
+    # repro.machine.counters; importing it lazily breaks the cycle.
+    if name in ("babelstream_triad", "triad_table", "format_triad_table"):
+        from repro.machine import babelstream
+
+        return getattr(babelstream, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Counters",
+    "StepCounters",
+    "Device",
+    "DeviceKind",
+    "DEVICES",
+    "get_device",
+    "list_devices",
+    "HOST",
+    "CostModel",
+    "predict_time",
+    "babelstream_triad",
+    "triad_table",
+]

@@ -1,0 +1,193 @@
+"""Roofline-style cost model: operation counts → predicted runtimes.
+
+The model charges each step's counters against a device's resources:
+
+* regular FP64 work at peak FLOP/s (special functions — divides and
+  square roots, which dominate the force kernel — at 1/8 of peak);
+* streaming bytes at the device's *measured* BabelStream TRIAD
+  bandwidth (Table I "Exp." column), irregular (pointer-chasing) bytes
+  at a device-specific fraction of it;
+* atomics at per-op latencies divided by the number of atomic units
+  (one per core/SM), with contended synchronizing atomics charged the
+  full CAS latency — this term is what reproduces the paper's
+  All-Pairs vs All-Pairs-Col ordering and the A100 Octree/BVH
+  inversion (partitioned-L2 latency);
+* sort comparisons at a per-comparison cost scaled by the toolchain's
+  sort efficiency (Fig. 8: toolchain differences live mostly in sort);
+* a per-kernel-launch overhead;
+* SIMT divergence: on GPUs, traversal-bound steps are inflated by the
+  ratio of warp-granularity work to per-thread work
+  (``warp_traversal_steps / traversal_steps``), which the lockstep
+  force kernels measure exactly.
+
+The model intentionally has few, globally fixed constants; all
+device-specific numbers live in the catalog.  Its purpose is the
+*shape* of the paper's figures — orderings and crossovers — not
+absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.counters import Counters, StepCounters
+from repro.machine.device import Device
+
+#: Cost of one sort comparison (comparator call + swap amortized), ns,
+#: on one core at efficiency 1.  Parallel sorts scale with core count.
+_SORT_CMP_NS = 1.2
+
+#: Special-function (divide/sqrt) slowdown vs FMA throughput.
+_SPECIAL_SLOWDOWN = 8.0
+
+#: Parallel sort efficiency: merge/sample sorts reach only a fraction of
+#: linear scaling.
+_SORT_PARALLEL_EFF = 0.35
+
+#: Effective nanoseconds per dependent node operation executed by a
+#: single work-group (two-stage builder stage 1): dependent global-memory
+#: accesses contending on the few top-of-tree nodes, with only one
+#: work-group's worth of threads to overlap them — close to raw memory
+#: latency per operation.
+_SERIAL_OP_NS = 100.0
+
+#: Fraction of peak FP64 a well-tuned real kernel sustains.  Parallel
+#: kernels lose to launch/occupancy/instruction mix; a single sequential
+#: core gets closer to its own peak.  These are global constants — the
+#: same for every device and figure.
+_PARALLEL_COMPUTE_EFF = 0.30
+_SEQ_COMPUTE_EFF = 0.60
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Predicted seconds, by resource, for one step."""
+
+    compute: float
+    memory: float
+    atomics: float
+    sort: float
+    launch: float
+    serial: float = 0.0
+
+    @property
+    def total(self) -> float:
+        # Compute and memory overlap (roofline); the rest serializes.
+        return (max(self.compute, self.memory) + self.atomics + self.sort
+                + self.launch + self.serial)
+
+
+class CostModel:
+    """Predicts execution time of counted work on a catalog device."""
+
+    def __init__(self, device: Device, *, toolchain: str | None = None,
+                 sequential: bool = False):
+        self.device = device
+        self.profile = device.toolchain_profile(
+            toolchain if toolchain is not None else device.default_toolchain
+        )
+        self.sequential = sequential
+
+    # ------------------------------------------------------------------
+    def step_time(self, c: Counters) -> TimeBreakdown:
+        d = self.device
+        if self.sequential:
+            peak_gflops = d.peak_seq_gflops * _SEQ_COMPUTE_EFF
+            bw = d.single_core_bw_gbs
+            atomic_units = 1.0
+            launch_us = 0.0
+            cores = 1.0
+        else:
+            peak_gflops = (
+                d.peak_fp64_gflops * _PARALLEL_COMPUTE_EFF
+                * self.profile.compute_efficiency
+            )
+            bw = d.measured_bw_gbs
+            atomic_units = float(d.cores)
+            launch_us = self.profile.launch_overhead_us
+            cores = float(d.cores)
+
+        # SIMT divergence inflation for traversal-bound steps.
+        div = 1.0
+        if (not self.sequential and d.is_gpu and c.traversal_steps > 0
+                and c.warp_traversal_steps > 0):
+            div = max(1.0, c.warp_traversal_steps / c.traversal_steps)
+
+        regular = max(c.flops - c.special_flops, 0.0)
+        compute = div * (
+            regular / (peak_gflops * 1e9)
+            + c.special_flops * _SPECIAL_SLOWDOWN / (peak_gflops * 1e9)
+        )
+
+        stream_bytes = max(c.bytes_total - c.bytes_irregular, 0.0)
+        irr_frac = d.irregular_bw_fraction
+        # Traversal kernels (the only steps with traversal_steps > 0)
+        # are where stdpar code generation quality shows: Fig. 9's
+        # toolchain differences are "mostly attributable" to
+        # CALCULATEFORCE, so the per-toolchain efficiency scales the
+        # traversal loop's effective memory throughput.
+        traversal_eff = (
+            self.profile.compute_efficiency
+            if (not self.sequential and c.traversal_steps > 0)
+            else 1.0
+        )
+        # Multi-tile NUMA: once a step's irregular traffic outgrows one
+        # tile's cache reach, cross-tile accesses tax the traversal.
+        numa = 1.0
+        if (not self.sequential and d.numa_threshold_bytes is not None
+                and c.bytes_irregular > d.numa_threshold_bytes):
+            numa = d.numa_penalty
+        memory = (
+            stream_bytes / (bw * 1e9)
+            + div * numa * c.bytes_irregular
+            / (bw * irr_frac * traversal_eff * 1e9)
+        )
+
+        if self.sequential:
+            # A single thread pays no coherence traffic: atomics retire
+            # like ordinary RMW instructions.
+            atomics = c.atomic_ops * d.atomic_add_ns * 1e-9
+        else:
+            relaxed = max(c.atomic_ops - c.sync_atomic_ops, 0.0)
+            # Relaxed atomics stream through per-core/per-SM reduction
+            # pipelines (wide on GPUs: warp-coalesced fire-and-forget).
+            relaxed_units = atomic_units * (float(d.simt_width) if d.is_gpu else 1.0)
+            # Synchronizing RMWs pay the coherence round-trip; contended
+            # ones additionally serialize on the owning cache line.
+            atomics = (
+                relaxed * d.atomic_add_ns / relaxed_units
+                + c.sync_atomic_ops * d.atomic_cas_ns / atomic_units
+                + c.contended_atomic_ops * d.atomic_cas_ns
+            ) * 1e-9
+
+        sort = (
+            c.sort_comparisons * _SORT_CMP_NS * 1e-9
+            / (cores * _SORT_PARALLEL_EFF * self.profile.sort_efficiency)
+        )
+        if self.sequential:
+            sort = c.sort_comparisons * _SORT_CMP_NS * 1e-9 / self.profile.sort_efficiency
+
+        launch = c.kernel_launches * launch_us * 1e-6
+        # Single-work-group sections are latency-bound regardless of the
+        # device's width (sequential runs already serialize everything).
+        serial = 0.0 if self.sequential else c.serial_node_ops * _SERIAL_OP_NS * 1e-9
+        return TimeBreakdown(compute, memory, atomics, sort, launch, serial)
+
+    # ------------------------------------------------------------------
+    def total_time(self, steps: StepCounters) -> float:
+        """Predicted seconds for a full pipeline (sum over steps)."""
+        return sum(self.step_time(c).total for c in steps.steps.values())
+
+    def step_times(self, steps: StepCounters) -> dict[str, float]:
+        return {k: self.step_time(c).total for k, c in steps.steps.items()}
+
+
+def predict_time(
+    device: Device,
+    steps: StepCounters,
+    *,
+    toolchain: str | None = None,
+    sequential: bool = False,
+) -> float:
+    """Convenience wrapper: predicted seconds for *steps* on *device*."""
+    return CostModel(device, toolchain=toolchain, sequential=sequential).total_time(steps)

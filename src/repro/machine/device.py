@@ -1,0 +1,114 @@
+"""Device specifications for the simulated hardware substrate.
+
+A :class:`Device` carries the parameters the cost model needs to turn
+operation counts into predicted runtimes, plus the semantic properties
+(forward-progress guarantee, SIMT width) the stdpar layer needs to
+decide *whether and how* an algorithm can run at all.
+
+Real measured quantities come from the paper's Table I (theoretical and
+BabelStream TRIAD bandwidths); the rest (FP64 peaks, atomic latency
+classes) are public figures or plausible classes — the experiments only
+depend on their relative ordering, which is documented per figure in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.stdpar.progress import ForwardProgress
+
+
+class DeviceKind(enum.Enum):
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class ToolchainProfile:
+    """Per-toolchain efficiency knobs (paper Figs. 8 and 9).
+
+    The paper finds inter-toolchain variation "relatively small,
+    attributed mainly in the sorting algorithm which is not necessarily
+    optimised in all compilers"; the profiles encode exactly that: a
+    sort efficiency that varies, small variation elsewhere.
+    """
+
+    name: str
+    #: Relative efficiency of the parallel sort (1.0 = best observed).
+    sort_efficiency: float = 1.0
+    #: Relative efficiency of compute-bound phases (force calculation).
+    compute_efficiency: float = 1.0
+    #: Per-kernel-launch overhead in microseconds.
+    launch_overhead_us: float = 5.0
+
+
+@dataclass(frozen=True)
+class Device:
+    """A simulated CPU or GPU execution target."""
+
+    key: str                   # short identifier ("h100", "genoa", ...)
+    name: str                  # Table I row name
+    kind: DeviceKind
+    vendor: str
+    sw: str                    # software stack version (Table I "SW")
+    toolchains: tuple[str, ...]
+    theoretical_bw_gbs: float  # Table I "Th. [GB/s]"
+    measured_bw_gbs: float     # Table I "Exp. [GB/s]" (BabelStream TRIAD)
+    peak_fp64_gflops: float
+    cores: int                 # CPU cores or GPU SMs/CUs
+    simt_width: int            # hardware lockstep width (1 lane group on CPU)
+    threads: int               # max concurrently resident threads
+    progress: ForwardProgress
+    #: Latency of a contended acquire/release atomic RMW, nanoseconds.
+    atomic_cas_ns: float
+    #: Amortized cost of an uncontended relaxed atomic, nanoseconds.
+    atomic_add_ns: float
+    #: Effective bandwidth of tree-node traffic relative to streaming
+    #: bandwidth.  Tree pools are megabytes and mostly L2/LLC-resident,
+    #: so values exceed 1 (cache bandwidth > DRAM bandwidth); CPUs with
+    #: large LLCs get higher multipliers than GPUs.
+    irregular_bw_fraction: float
+    #: Bandwidth achievable by a single sequential thread (GB/s).
+    single_core_bw_gbs: float
+    #: Ampere-style partitioned L2: inflates synchronizing-atomic latency
+    #: (the paper's explanation for BVH>Octree at 1e5 on A100).
+    l2_partitioned: bool = False
+    #: Multi-tile NUMA (Intel PVC 2-tile mode): once a step's irregular
+    #: traffic exceeds the threshold, cross-tile accesses divide the
+    #: effective traversal bandwidth by the penalty — "NUMA effects may
+    #: penalize throughput for larger problems" (paper Section V-B).
+    numa_threshold_bytes: float | None = None
+    numa_penalty: float = 1.0
+    profiles: tuple[ToolchainProfile, ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind is DeviceKind.GPU
+
+    @property
+    def has_its(self) -> bool:
+        """Independent Thread Scheduling: parallel forward progress on a GPU."""
+        return self.is_gpu and self.progress.satisfies(ForwardProgress.PARALLEL)
+
+    @property
+    def default_toolchain(self) -> str:
+        return self.toolchains[0]
+
+    def toolchain_profile(self, name: str) -> ToolchainProfile:
+        for p in self.profiles:
+            if p.name == name:
+                return p
+        if name in self.toolchains:
+            return ToolchainProfile(name=name)
+        raise KeyError(f"toolchain {name!r} not available on {self.name!r}")
+
+    @property
+    def peak_seq_gflops(self) -> float:
+        """Single-core (single-SM) FP64 peak used for ``seq`` runs."""
+        return self.peak_fp64_gflops / self.cores
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

@@ -1,0 +1,60 @@
+"""The Concurrent Octree strategy (paper Section IV-A).
+
+Data structure (paper Fig. 1): a pool of nodes where each node stores a
+single *child* word that is either a token (Empty / Locked / Body) or
+the offset of its first child; children are allocated in contiguous
+groups of 2^dim siblings in Morton order by a concurrent bump
+allocator, and each sibling group stores one parent offset.  Because
+the allocator only moves forward, children always have larger offsets
+than their parents — the property the stackless DFS traversal (Fig. 3)
+relies on.
+
+Three parallel algorithms:
+
+* BUILDTREE (Alg. 4/5) — all bodies inserted concurrently with a
+  starvation-free locking protocol (requires ``par``);
+* CALCULATEMULTIPOLES (Fig. 2) — wait-free leaf-to-root reduction with
+  relaxed accumulation and acquire/release arrival counters (requires
+  ``par``);
+* CALCULATEFORCE (Fig. 3) — stackless depth-first traversal with the
+  multipole acceptance criterion (vectorization-safe: ``par_unseq``).
+
+Each algorithm exists in two equivalent forms: a *scalar* virtual-thread
+form faithful to the paper's pseudocode, and a *vectorized* numpy form
+(the tree produced by concurrent insertion is insertion-order
+independent, so a deterministic builder reconstructs it exactly; the
+test suite asserts structural equality).
+"""
+
+from repro.octree.layout import (
+    OctreePool,
+    EMPTY,
+    LOCKED,
+    encode_body,
+    decode_body,
+    is_body_token,
+)
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.build_concurrent import build_octree_concurrent
+from repro.octree.multipoles import (
+    compute_multipoles_vectorized,
+    compute_multipoles_concurrent,
+)
+from repro.octree.traversal import compute_escape_indices, canonical_structure
+from repro.octree.force import octree_accelerations
+
+__all__ = [
+    "OctreePool",
+    "EMPTY",
+    "LOCKED",
+    "encode_body",
+    "decode_body",
+    "is_body_token",
+    "build_octree_vectorized",
+    "build_octree_concurrent",
+    "compute_multipoles_vectorized",
+    "compute_multipoles_concurrent",
+    "compute_escape_indices",
+    "canonical_structure",
+    "octree_accelerations",
+]

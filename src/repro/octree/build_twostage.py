@@ -1,0 +1,95 @@
+"""Two-stage octree construction (the paper's benchmarked comparator).
+
+Thüring et al. [22] — whose SYCL solver the paper validates against —
+enhance the top-down builder of Burtscher and Pingali [29] by splitting
+construction into two kernels: first, a *single work-group* builds the
+partial tree near the root; second, the now-independent subtrees are
+built in parallel, one work-group each (paper Section VI).  The split
+exists because SYCL's execution model only synchronizes within a
+work-group: without Independent Thread Scheduling there is no safe
+global locking, so the contended top of the tree must be serialized.
+
+We reproduce that strategy: the tree materialized is *identical* to
+the other builders' (structure is position-determined); what differs
+is the execution shape, and therefore the accounting — stage-1 levels
+are charged as dependent single-work-group operations
+(``serial_node_ops``), stage-2 subtree construction as ordinary
+parallel work.  Because it needs no global atomics or locks, this
+builder runs under weakly parallel forward progress, i.e. everywhere —
+portability bought with the serial stage the Concurrent Octree avoids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.layout import OctreePool
+from repro.stdpar.context import ExecutionContext
+
+#: Stage 1 runs until at least this many independent subtrees exist
+#: (Thüring et al. size the split so stage 2 fills the device).
+DEFAULT_SUBTREE_TARGET = 256
+
+
+def build_octree_twostage(
+    x: np.ndarray,
+    *,
+    bits: int | None = None,
+    box: AABB | None = None,
+    ctx: ExecutionContext | None = None,
+    subtree_target: int = DEFAULT_SUBTREE_TARGET,
+) -> OctreePool:
+    """Build the octree with two-stage accounting.
+
+    Returns the same pool as :func:`build_octree_vectorized`; when *ctx*
+    is given, stage-1 work (levels whose frontier is narrower than
+    *subtree_target*) is charged as single-work-group serial node
+    operations and stage-2 work as parallel insertion.
+    """
+    if subtree_target < 1:
+        raise ValueError("subtree_target must be >= 1")
+    stats: list[dict] = []
+    pool = build_octree_vectorized(
+        x, bits=bits, box=box, ctx=None, level_stats=stats, account="none"
+    )
+    if ctx is not None:
+        _account_twostage(pool, stats, int(np.asarray(x).shape[0]),
+                          subtree_target, ctx)
+    return pool
+
+
+def _account_twostage(
+    pool: OctreePool,
+    stats: list[dict],
+    n: int,
+    subtree_target: int,
+    ctx: ExecutionContext,
+) -> None:
+    """Charge stage-1 (serial work-group) and stage-2 (parallel) work.
+
+    Stage 1 processes every body through each top level (each body's
+    cell must be routed down to its subtree): the dependent-op count is
+    the bodies spanned per serialized level.  Stage 2 is the standard
+    insertion pass over the remaining depth, lock-free within subtrees.
+    """
+    word = 8.0
+    serial_ops = 0.0
+    stage2_descent = 0.0
+    for s in stats:
+        if s["frontier_nodes"] < subtree_target:
+            serial_ops += float(s["bodies_spanned"])
+        else:
+            stage2_descent += float(s["bodies_spanned"])
+    nn = pool.n_nodes
+    n_groups = (nn - 1) // pool.nchild
+    ctx.counters.add(
+        serial_node_ops=serial_ops,
+        # Stage 2: plain (work-group local) inserts — no global atomics.
+        bytes_irregular=stage2_descent * word,
+        bytes_read=(serial_ops + stage2_descent) * word + 32.0 * n,
+        bytes_written=word * (n + 3.0 * n_groups),
+        loop_iterations=float(n),
+        kernel_launches=2.0,
+    )

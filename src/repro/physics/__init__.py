@@ -1,0 +1,47 @@
+"""N-body physics: body state, gravity, time integration, diagnostics.
+
+Implements Section III of the paper: the gravitational force law
+(Equation 1), Störmer-Verlet time integration [12], and the
+conservation diagnostics ("the simulations produce consistent final
+results across all systems, conserving mass and energy", Section V-A).
+"""
+
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import (
+    GravityParams,
+    pairwise_accelerations,
+    point_mass_accel,
+    potential_energy,
+)
+from repro.physics.integrator import VerletIntegrator, kick, drift
+from repro.physics.diagnostics import (
+    kinetic_energy,
+    total_energy,
+    momentum,
+    angular_momentum,
+    center_of_mass,
+    EnergyReport,
+    energy_report,
+)
+from repro.physics.accuracy import l2_error, relative_l2_error, max_relative_error
+
+__all__ = [
+    "BodySystem",
+    "GravityParams",
+    "pairwise_accelerations",
+    "point_mass_accel",
+    "potential_energy",
+    "VerletIntegrator",
+    "kick",
+    "drift",
+    "kinetic_energy",
+    "total_energy",
+    "momentum",
+    "angular_momentum",
+    "center_of_mass",
+    "EnergyReport",
+    "energy_report",
+    "l2_error",
+    "relative_l2_error",
+    "max_relative_error",
+]

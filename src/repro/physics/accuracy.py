@@ -1,0 +1,39 @@
+"""Accuracy metrics for cross-implementation validation.
+
+Section V-A validates the implementations against Thüring et al.'s SYCL
+solver by evolving the JPL small-body population for one day and
+checking that "the L2 error norm of the final body positions among all
+three implementations is below 1e-6".  These helpers compute that norm
+(absolute and relative variants) between body states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def l2_error(a: np.ndarray, b: np.ndarray) -> float:
+    """RMS L2 error norm between two (N, dim) position arrays:
+    sqrt(mean_i |a_i - b_i|²)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    d = a - b
+    return float(np.sqrt(np.mean(np.einsum("ij,ij->i", d, d))))
+
+
+def relative_l2_error(a: np.ndarray, ref: np.ndarray) -> float:
+    """L2 error normalized by the RMS magnitude of the reference."""
+    ref = np.asarray(ref, dtype=float)
+    scale = float(np.sqrt(np.mean(np.einsum("ij,ij->i", ref, ref))))
+    return l2_error(a, ref) / max(scale, np.finfo(float).tiny)
+
+
+def max_relative_error(a: np.ndarray, ref: np.ndarray) -> float:
+    """Worst-case per-body relative position error."""
+    a = np.asarray(a, dtype=float)
+    ref = np.asarray(ref, dtype=float)
+    num = np.sqrt(np.einsum("ij,ij->i", a - ref, a - ref))
+    den = np.maximum(np.sqrt(np.einsum("ij,ij->i", ref, ref)), np.finfo(float).tiny)
+    return float((num / den).max(initial=0.0))

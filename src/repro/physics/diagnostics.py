@@ -1,0 +1,65 @@
+"""Conservation diagnostics.
+
+Section V-A states the simulations "produce consistent final results
+across all systems, conserving mass and energy"; these diagnostics are
+how the test suite and examples check that claim for every algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams, potential_energy
+
+
+def kinetic_energy(system: BodySystem) -> float:
+    """T = 1/2 * sum_i m_i |v_i|²."""
+    return 0.5 * float(np.einsum("i,ij,ij->", system.m, system.v, system.v))
+
+
+def total_energy(system: BodySystem, params: GravityParams = GravityParams()) -> float:
+    """T + U (U computed exactly, O(N²); intended for N ≲ 3·10⁴)."""
+    return kinetic_energy(system) + potential_energy(system.x, system.m, params)
+
+
+def momentum(system: BodySystem) -> np.ndarray:
+    """Total linear momentum, conserved exactly by all-pairs forces and
+    to approximation accuracy by the tree algorithms."""
+    return np.einsum("i,ij->j", system.m, system.v)
+
+
+def angular_momentum(system: BodySystem) -> np.ndarray:
+    """Total angular momentum about the origin (3-D: vector; 2-D: scalar z)."""
+    if system.dim == 3:
+        return np.einsum("i,ij->j", system.m, np.cross(system.x, system.v))
+    lz = system.m * (system.x[:, 0] * system.v[:, 1] - system.x[:, 1] * system.v[:, 0])
+    return np.array([float(lz.sum())])
+
+
+def center_of_mass(system: BodySystem) -> np.ndarray:
+    return np.einsum("i,ij->j", system.m, system.x) / system.total_mass
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    kinetic: float
+    potential: float
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.potential
+
+    def drift_from(self, other: "EnergyReport") -> float:
+        """Relative total-energy drift |E - E0| / |E0|."""
+        e0 = other.total
+        return abs(self.total - e0) / max(abs(e0), np.finfo(float).tiny)
+
+
+def energy_report(system: BodySystem, params: GravityParams = GravityParams()) -> EnergyReport:
+    return EnergyReport(
+        kinetic=kinetic_energy(system),
+        potential=potential_energy(system.x, system.m, params),
+    )

@@ -1,0 +1,75 @@
+"""A Python model of ISO C++ standard parallelism (Section II).
+
+This package reproduces the *programming model* the paper builds on:
+
+* execution policies ``seq``, ``par``, ``par_unseq`` with their
+  forward-progress guarantees and vectorization-safety rules;
+* parallel algorithms ``for_each``, ``transform_reduce``, ``sort``;
+* atomic operations with C++ memory orders;
+* a deterministic cooperative *virtual-thread scheduler* that models the
+  difference between Independent Thread Scheduling (parallel forward
+  progress — spinning threads are always eventually rescheduled) and
+  classic GPU occupancy-bound scheduling (weakly parallel forward
+  progress — a resident spinning warp can starve the lock holder, which
+  is why the Concurrent Octree hangs on AMD/Intel GPUs in Section V-B);
+* a SIMT "lockstep" batch path: kernels that are vectorization-safe can
+  provide a numpy implementation in which all logical threads advance in
+  lockstep — exactly how a GPU executes a ``par_unseq`` loop.
+
+Kernels declare whether they use atomics/locks; invoking such a kernel
+under ``par_unseq`` raises :class:`~repro.errors.VectorizationUnsafeError`
+(atomics are vectorization-unsafe per [algorithms.parallel.defns]).
+"""
+
+from repro.stdpar.progress import ForwardProgress
+from repro.stdpar.policy import ExecutionPolicy, seq, par, par_unseq
+from repro.stdpar.atomics import (
+    MemoryOrder,
+    relaxed,
+    acquire,
+    release,
+    acq_rel,
+    seq_cst,
+    AtomicArray,
+)
+from repro.stdpar.kernel import Kernel, kernel_from_functions
+from repro.stdpar.scheduler import (
+    VirtualThreadScheduler,
+    SchedulerMode,
+    Load,
+    Store,
+    FetchAdd,
+    CompareExchange,
+    Pause,
+)
+from repro.stdpar.context import ExecutionContext, default_context
+from repro.stdpar.algorithms import for_each, transform_reduce, sort_by_key
+
+__all__ = [
+    "ForwardProgress",
+    "ExecutionPolicy",
+    "seq",
+    "par",
+    "par_unseq",
+    "MemoryOrder",
+    "relaxed",
+    "acquire",
+    "release",
+    "acq_rel",
+    "seq_cst",
+    "AtomicArray",
+    "Kernel",
+    "kernel_from_functions",
+    "VirtualThreadScheduler",
+    "SchedulerMode",
+    "Load",
+    "Store",
+    "FetchAdd",
+    "CompareExchange",
+    "Pause",
+    "ExecutionContext",
+    "default_context",
+    "for_each",
+    "transform_reduce",
+    "sort_by_key",
+]

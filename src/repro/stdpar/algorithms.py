@@ -1,0 +1,270 @@
+"""C++ parallel algorithms: ``for_each``, ``transform_reduce``, ``sort``.
+
+These are the only three algorithms the paper's implementation needs
+(Section II).  Each invocation:
+
+1. validates the policy against the kernel (atomics are
+   vectorization-unsafe under ``par_unseq``) and against the device's
+   forward-progress guarantee (``par`` needs parallel forward progress;
+   a violation either raises :class:`~repro.errors.ForwardProgressError`
+   or — in ``simulate`` mode — reproduces the hang on the lockstep
+   scheduler);
+2. dispatches to the batch (vectorized numpy) or scalar (virtual-thread)
+   implementation of the kernel;
+3. accounts the work to the context's current step counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ForwardProgressError, VectorizationUnsafeError
+from repro.stdpar.atomics import vectorized_region
+from repro.stdpar.context import ExecutionContext
+from repro.stdpar.kernel import Kernel
+from repro.stdpar.policy import ExecutionPolicy, seq
+from repro.stdpar.scheduler import SchedulerMode, VirtualThreadScheduler
+
+
+# ----------------------------------------------------------------------
+# Policy / device validation
+# ----------------------------------------------------------------------
+def _validate(policy: ExecutionPolicy, kernel: Kernel, ctx: ExecutionContext) -> None:
+    if kernel.uses_atomics and not policy.allows_atomics:
+        raise VectorizationUnsafeError(
+            f"kernel {kernel.name!r} uses atomics/locks, which are "
+            f"vectorization-unsafe; it cannot be invoked with policy "
+            f"{policy.name!r} (use par)"
+        )
+    if policy.parallel and not ctx.device.progress.satisfies(policy.required_progress):
+        if ctx.on_progress_violation == "raise":
+            raise ForwardProgressError(
+                f"policy {policy.name!r} requires "
+                f"{policy.required_progress.name} forward progress but device "
+                f"{ctx.device.name!r} only provides {ctx.device.progress.name} "
+                "(no Independent Thread Scheduling); on real hardware this "
+                "hangs (paper Section V-B)"
+            )
+        # "simulate": fall through — the scalar path will run on the
+        # LOCKSTEP scheduler and starve, raising LivelockDetected.
+
+
+def _run_scalar_sequential(items: Iterable[Any], kernel: Kernel, ctx: ExecutionContext) -> None:
+    """Drive scalar generators to completion one element at a time."""
+    sched = VirtualThreadScheduler(SchedulerMode.FAIR, counters=ctx.counters)
+    for i in items:
+        sched.run([lambda i=i: kernel.scalar(i)])
+
+
+def _run_scalar_scheduled(
+    items: Sequence[Any],
+    kernel: Kernel,
+    ctx: ExecutionContext,
+    mode: SchedulerMode,
+) -> None:
+    sched = ctx.make_scheduler(mode)
+    sched.run([(lambda i=i: kernel.scalar(i)) for i in items])
+
+
+# ----------------------------------------------------------------------
+# for_each
+# ----------------------------------------------------------------------
+def for_each(
+    policy: ExecutionPolicy,
+    items: Any,
+    kernel: Kernel,
+    ctx: ExecutionContext,
+) -> None:
+    """``std::for_each(policy, begin, end, kernel)``.
+
+    *items* is a range length (int) or a sequence of element values.
+    """
+    if isinstance(items, (int, np.integer)):
+        items = np.arange(int(items))
+    _validate(policy, kernel, ctx)
+    n = len(items)
+    ctx.counters.add(loop_iterations=float(n), kernel_launches=1.0)
+    if n == 0:
+        return
+
+    if policy is seq:
+        if kernel.has_scalar:
+            _run_scalar_sequential(items, kernel, ctx)
+        else:
+            kernel.batch(items)
+        return
+
+    # Parallel policies.
+    prefer_batch = ctx.backend == "vectorized" and kernel.has_batch
+    if kernel.uses_atomics and kernel.has_batch and not kernel.batch_equivalent_to_atomics:
+        prefer_batch = False  # batch translation not proven equivalent
+
+    if prefer_batch or not kernel.has_scalar:
+        if policy.vectorized:
+            with vectorized_region():
+                kernel.batch(items)
+        else:
+            kernel.batch(items)
+        return
+
+    # Scalar path on the virtual-thread scheduler.
+    mode = ctx.scheduler_mode()
+    if policy.vectorized:
+        # par_unseq models SIMT lockstep regardless of ITS; kernels here
+        # are atomics-free so lockstep cannot starve.
+        mode = SchedulerMode.LOCKSTEP
+    _run_scalar_scheduled(items, kernel, ctx, mode)
+
+
+# ----------------------------------------------------------------------
+# transform_reduce
+# ----------------------------------------------------------------------
+def transform_reduce(
+    policy: ExecutionPolicy,
+    items: Any,
+    init: Any,
+    reduce_fn: Callable[[Any, Any], Any],
+    transform_fn: Callable[[Any], Any],
+    ctx: ExecutionContext,
+    *,
+    batch: Callable[[Any], Any] | None = None,
+    flops_per_item: float = 0.0,
+    bytes_per_item: float = 0.0,
+) -> Any:
+    """``std::transform_reduce(policy, ..., init, reduce, transform)``.
+
+    When *batch* is given and the backend is vectorized, it computes the
+    whole reduction in one numpy call (must be semantically equal to the
+    fold; reductions here are commutative so any order is legal).
+    """
+    if isinstance(items, (int, np.integer)):
+        items = np.arange(int(items))
+    n = len(items)
+    ctx.counters.add(
+        loop_iterations=float(n),
+        flops=flops_per_item * n,
+        bytes_read=bytes_per_item * n,
+        kernel_launches=1.0,
+    )
+    if batch is not None and ctx.backend == "vectorized" and policy is not seq:
+        if policy.vectorized:
+            with vectorized_region():
+                return batch(items)
+        return batch(items)
+    acc = init
+    for i in items:
+        acc = reduce_fn(acc, transform_fn(i))
+    return acc
+
+
+# ----------------------------------------------------------------------
+# sort
+# ----------------------------------------------------------------------
+def sort_by_key(
+    policy: ExecutionPolicy,
+    keys: np.ndarray,
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    """``std::sort(policy, zip(...))`` by precomputed keys.
+
+    Like the paper's HILBERTSORT (Algorithm 7) with the AdaptiveCpp /
+    Clang workaround: sorts an auxiliary (key, index) buffer and returns
+    the permutation to apply to the body arrays.  A stable sort keeps
+    results deterministic under duplicate keys.
+    """
+    keys = np.asarray(keys)
+    n = keys.shape[0]
+    # n log2 n comparisons; each touches a (key, index) pair.  Toolchain
+    # sort efficiency is applied by the cost model, not here, so that
+    # counters stay device- and toolchain-independent.
+    log2n = float(np.log2(max(n, 2)))
+    ctx.counters.add(
+        sort_comparisons=n * log2n,
+        bytes_read=2.0 * 16.0 * n * log2n,
+        bytes_written=2.0 * 16.0 * n,
+        loop_iterations=float(n),
+        kernel_launches=1.0,
+    )
+    return np.argsort(keys, kind="stable")
+
+
+# ----------------------------------------------------------------------
+# reduce / scans
+# ----------------------------------------------------------------------
+def reduce(
+    policy: ExecutionPolicy,
+    values: np.ndarray,
+    init: Any,
+    op: Callable[[Any, Any], Any],
+    ctx: ExecutionContext,
+    *,
+    batch: Callable[[np.ndarray], Any] | None = None,
+) -> Any:
+    """``std::reduce(policy, first, last, init, op)``.
+
+    *op* must be associative and commutative for parallel policies (the
+    C++ precondition); *batch* supplies the vectorized whole-array
+    reduction used under the vectorized backend.
+    """
+    values = np.asarray(values)
+    n = len(values)
+    ctx.counters.add(loop_iterations=float(n), flops=float(max(n - 1, 0)),
+                     bytes_read=float(values.nbytes), kernel_launches=1.0)
+    if batch is not None and ctx.backend == "vectorized" and policy is not seq:
+        if policy.vectorized:
+            with vectorized_region():
+                return op(init, batch(values)) if n else init
+        return op(init, batch(values)) if n else init
+    acc = init
+    for v in values:
+        acc = op(acc, v)
+    return acc
+
+
+def exclusive_scan(
+    policy: ExecutionPolicy,
+    values: np.ndarray,
+    init: float,
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    """``std::exclusive_scan`` (addition): out[i] = init + sum(v[:i]).
+
+    The building block of the vectorized tree builders' child-offset
+    computation; counted as a two-pass parallel scan (read + write per
+    element, log-depth flops).
+    """
+    values = np.asarray(values)
+    n = len(values)
+    log2n = float(np.log2(max(n, 2)))
+    ctx.counters.add(
+        loop_iterations=float(n), flops=2.0 * n,
+        bytes_read=2.0 * float(values.nbytes),
+        bytes_written=float(values.nbytes),
+        kernel_launches=1.0 if policy is seq else 2.0,  # up-sweep + down-sweep
+    )
+    out = np.empty(n, dtype=np.result_type(values.dtype, type(init)))
+    if n:
+        np.cumsum(values, out=out)
+        out[1:] = out[:-1]
+        out[0] = 0
+        out += init
+    return out
+
+
+def inclusive_scan(
+    policy: ExecutionPolicy,
+    values: np.ndarray,
+    ctx: ExecutionContext,
+) -> np.ndarray:
+    """``std::inclusive_scan`` (addition)."""
+    values = np.asarray(values)
+    n = len(values)
+    ctx.counters.add(
+        loop_iterations=float(n), flops=2.0 * n,
+        bytes_read=2.0 * float(values.nbytes),
+        bytes_written=float(values.nbytes),
+        kernel_launches=1.0 if policy is seq else 2.0,
+    )
+    return np.cumsum(values)

@@ -1,0 +1,161 @@
+"""Atomic operations with C++ memory orders.
+
+The Concurrent Octree uses (paper Sections II and IV-A):
+
+* ``fetch_add(..., memory_order_relaxed)`` for the bump allocator and
+  the multipole accumulation;
+* ``compare_exchange`` with acquire semantics to take per-node locks;
+* ``store`` with release semantics to publish subdivided children and
+  release locks;
+* acquire ``load`` to read node state during traversal.
+
+In this single-process model every numpy element access is physically
+indivisible, so the *functional* semantics of atomicity come for free;
+what this module adds is (a) the policy check — atomics are
+vectorization-unsafe, so using them under ``par_unseq`` raises — and
+(b) precise operation counting with the memory order recorded, which the
+cost model weighs (acquire/release synchronization is what makes the
+octree's atomics expensive on hardware with partitioned L2, the paper's
+explanation for Ampere's BVH/Octree inversion).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+import numpy as np
+
+from repro.errors import VectorizationUnsafeError
+from repro.machine.counters import Counters
+
+
+class MemoryOrder(enum.Enum):
+    """C++ ``std::memory_order`` values used by the paper's algorithms."""
+
+    RELAXED = "relaxed"
+    ACQUIRE = "acquire"
+    RELEASE = "release"
+    ACQ_REL = "acq_rel"
+    SEQ_CST = "seq_cst"
+
+    @property
+    def synchronizes(self) -> bool:
+        """True if the order establishes synchronizes-with edges."""
+        return self is not MemoryOrder.RELAXED
+
+
+relaxed = MemoryOrder.RELAXED
+acquire = MemoryOrder.ACQUIRE
+release = MemoryOrder.RELEASE
+acq_rel = MemoryOrder.ACQ_REL
+seq_cst = MemoryOrder.SEQ_CST
+
+
+# ----------------------------------------------------------------------
+# Ambient vectorization-safety flag.  The algorithms layer pushes True
+# while running a kernel under par_unseq; AtomicArray checks it.
+# ----------------------------------------------------------------------
+_VECTORIZED_REGION_DEPTH = 0
+
+
+class vectorized_region:
+    """Context manager marking code as executing under ``par_unseq``."""
+
+    def __enter__(self) -> None:
+        global _VECTORIZED_REGION_DEPTH
+        _VECTORIZED_REGION_DEPTH += 1
+
+    def __exit__(self, *exc: Any) -> None:
+        global _VECTORIZED_REGION_DEPTH
+        _VECTORIZED_REGION_DEPTH -= 1
+
+
+def in_vectorized_region() -> bool:
+    return _VECTORIZED_REGION_DEPTH > 0
+
+
+def _check_vectorization_safety(what: str) -> None:
+    if in_vectorized_region():
+        raise VectorizationUnsafeError(
+            f"atomic operation {what!r} attempted under par_unseq; atomic "
+            "operations are vectorization-unsafe ([algorithms.parallel.defns])"
+        )
+
+
+class AtomicArray:
+    """A numpy array whose elements are accessed atomically.
+
+    Equivalent to taking ``std::atomic_ref`` to each element of a plain
+    array (what the C++ artifact does): the storage is ordinary memory,
+    shared with non-atomic vectorized phases, and atomicity applies per
+    operation.
+    """
+
+    __slots__ = ("data", "counters")
+
+    def __init__(self, data: np.ndarray, counters: Counters | None = None):
+        if not isinstance(data, np.ndarray):
+            raise TypeError("AtomicArray wraps a numpy array")
+        self.data = data
+        self.counters = counters if counters is not None else Counters()
+
+    # -- counting helper ------------------------------------------------
+    def _count(self, order: MemoryOrder, contended: bool = False,
+               rmw: bool = True) -> None:
+        self.counters.add(
+            atomic_ops=1,
+            sync_atomic_ops=1.0 if (rmw and order.synchronizes) else 0.0,
+            contended_atomic_ops=1.0 if contended else 0.0,
+            bytes_read=float(self.data.itemsize),
+            bytes_written=float(self.data.itemsize) if rmw else 0.0,
+        )
+
+    # -- operations ------------------------------------------------------
+    def load(self, index: Any, order: MemoryOrder = seq_cst):
+        _check_vectorization_safety("load")
+        self._count(order, rmw=False)
+        return self.data[index]
+
+    def store(self, index: Any, value: Any, order: MemoryOrder = seq_cst) -> None:
+        _check_vectorization_safety("store")
+        self._count(order)
+        self.data[index] = value
+
+    def fetch_add(self, index: Any, value: Any, order: MemoryOrder = seq_cst):
+        """Atomically add *value*, returning the previous value."""
+        _check_vectorization_safety("fetch_add")
+        self._count(order)
+        old = self.data[index]
+        self.data[index] = old + value
+        return old
+
+    def compare_exchange(
+        self,
+        index: Any,
+        expected: Any,
+        desired: Any,
+        success: MemoryOrder = seq_cst,
+        failure: MemoryOrder = seq_cst,
+    ) -> tuple[bool, Any]:
+        """CAS: if ``data[index] == expected`` store *desired*.
+
+        Returns ``(succeeded, observed_value)`` — the C++ API writes the
+        observed value back into ``expected``; we return it instead.
+        """
+        _check_vectorization_safety("compare_exchange")
+        observed = self.data[index]
+        ok = bool(observed == expected)
+        self._count(success if ok else failure, contended=not ok)
+        if ok:
+            self.data[index] = desired
+        return ok, observed
+
+    def fetch_max(self, index: Any, value: Any, order: MemoryOrder = seq_cst):
+        """Atomic max (used by diagnostics); returns previous value."""
+        _check_vectorization_safety("fetch_max")
+        self._count(order)
+        old = self.data[index]
+        if value > old:
+            self.data[index] = value
+        return old

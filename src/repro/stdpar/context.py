@@ -1,0 +1,114 @@
+"""Execution context: device + backend + per-step accounting.
+
+The context plays the role of the compiled binary's runtime environment:
+which device parallel algorithms target (``-stdpar=<cpu|gpu>``), which
+stdpar implementation ("toolchain") is in use, and where operation
+counts and wall-clock step timings accumulate.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.machine.counters import Counters, StepCounters
+from repro.stdpar.progress import ForwardProgress
+from repro.stdpar.scheduler import SchedulerMode, VirtualThreadScheduler
+
+#: Backend choices: "vectorized" prefers the numpy lockstep kernel path
+#: (fast); "reference" prefers the scalar virtual-thread path (faithful,
+#: used for semantics validation and small problems).
+BACKENDS = ("vectorized", "reference")
+
+#: What to do when a policy's forward-progress requirement exceeds the
+#: device guarantee: "raise" immediately (library default — fail fast),
+#: or "simulate" the hang by running on the lockstep scheduler, which
+#: raises LivelockDetected when it starves (used to demonstrate the
+#: paper's Section V-B hang).
+PROGRESS_VIOLATION_MODES = ("raise", "simulate")
+
+
+class ExecutionContext:
+    """Runtime environment for stdpar algorithm invocations."""
+
+    def __init__(
+        self,
+        device: Any = None,
+        *,
+        backend: str = "vectorized",
+        toolchain: str | None = None,
+        on_progress_violation: str = "raise",
+        scheduler_shuffle_seed: int | None = None,
+        warp_width: int | None = None,
+    ):
+        if backend not in BACKENDS:
+            raise ConfigurationError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if on_progress_violation not in PROGRESS_VIOLATION_MODES:
+            raise ConfigurationError(
+                f"on_progress_violation must be one of {PROGRESS_VIOLATION_MODES}"
+            )
+        if device is None:
+            from repro.machine.catalog import HOST
+
+            device = HOST
+        self.device = device
+        self.backend = backend
+        self.toolchain = toolchain if toolchain is not None else device.default_toolchain
+        if self.toolchain not in device.toolchains:
+            raise ConfigurationError(
+                f"toolchain {self.toolchain!r} not available on device "
+                f"{device.name!r} (has {device.toolchains})"
+            )
+        self.on_progress_violation = on_progress_violation
+        self.scheduler_shuffle_seed = scheduler_shuffle_seed
+        self.warp_width = warp_width if warp_width is not None else device.simt_width
+        self.step_counters = StepCounters()
+        self.step_seconds: dict[str, float] = {}
+        self._current_step = "main"
+
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> Counters:
+        """Counters of the step currently being executed."""
+        return self.step_counters.step(self._current_step)
+
+    @contextmanager
+    def step(self, name: str) -> Iterator[Counters]:
+        """Attribute contained work (counts + wall time) to step *name*."""
+        prev = self._current_step
+        self._current_step = name
+        t0 = time.perf_counter()
+        try:
+            yield self.counters
+        finally:
+            self.step_seconds[name] = self.step_seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+            self._current_step = prev
+
+    def reset_accounting(self) -> None:
+        self.step_counters = StepCounters()
+        self.step_seconds = {}
+        self._current_step = "main"
+
+    # ------------------------------------------------------------------
+    def scheduler_mode(self) -> SchedulerMode:
+        """Scheduling semantics the device provides to virtual threads."""
+        if self.device.progress.satisfies(ForwardProgress.PARALLEL):
+            return SchedulerMode.FAIR
+        return SchedulerMode.LOCKSTEP
+
+    def make_scheduler(self, mode: Optional[SchedulerMode] = None) -> VirtualThreadScheduler:
+        return VirtualThreadScheduler(
+            mode if mode is not None else self.scheduler_mode(),
+            warp_width=self.warp_width,
+            shuffle_seed=self.scheduler_shuffle_seed,
+            counters=self.counters,
+        )
+
+
+def default_context(**kw: Any) -> ExecutionContext:
+    """Context targeting the measuring host with the vectorized backend."""
+    return ExecutionContext(**kw)

@@ -1,0 +1,82 @@
+"""Kernel protocol: what a parallel algorithm invokes per element.
+
+A kernel is the Python analogue of the lambda passed to
+``std::for_each(policy, ...)``.  Because CPython cannot JIT-vectorize a
+per-element callable, kernels may provide *two* implementations:
+
+* ``scalar(i)`` — a generator that yields :class:`~repro.stdpar.scheduler.Op`
+  objects at each atomic operation.  This path is faithful to the
+  paper's pseudocode (locks, CAS loops) and runs on the virtual-thread
+  scheduler, where forward-progress semantics apply.
+* ``batch(items)`` — a numpy implementation that advances *all* logical
+  threads in lockstep.  This is the fast path and is also exactly how a
+  SIMT GPU executes a ``par_unseq`` loop, so the translation is not a
+  cheat but a faithful model of vectorized execution.
+
+``uses_atomics`` declares vectorization-unsafety: such a kernel is
+rejected under ``par_unseq`` (paper Section II).  A kernel that uses
+atomics may still provide a ``batch`` path when a semantically
+equivalent vectorized formulation exists (e.g. All-Pairs-Col's atomic
+accumulation commutes, so ``np.add.at`` is an equivalent reduction);
+``batch_equivalent_to_atomics`` documents that claim and the test suite
+verifies it against the scheduler path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.stdpar.scheduler import Op
+
+
+@dataclass
+class Kernel:
+    """A named parallel kernel with scalar and/or batch implementations."""
+
+    name: str
+    #: Does the scalar path use atomics/locks (vectorization-unsafe)?
+    uses_atomics: bool = False
+    #: Generator factory: ``scalar(i)`` returns a virtual thread for
+    #: element ``i``.
+    scalar: Optional[Callable[[Any], Generator[Op, Any, Any]]] = None
+    #: Vectorized implementation over an array of elements.
+    batch: Optional[Callable[[Any], None]] = None
+    #: True if the batch path is semantically equivalent to running the
+    #: scalar path under any legal interleaving (required for kernels
+    #: with ``uses_atomics=True`` to be batch-executable under ``par``).
+    batch_equivalent_to_atomics: bool = False
+    #: Extra metadata (used by cost accounting / reporting).
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.scalar is None and self.batch is None:
+            raise ValueError(f"kernel {self.name!r} must define scalar or batch")
+
+    @property
+    def has_scalar(self) -> bool:
+        return self.scalar is not None
+
+    @property
+    def has_batch(self) -> bool:
+        return self.batch is not None
+
+
+def kernel_from_functions(
+    name: str,
+    *,
+    scalar: Optional[Callable[[Any], Generator[Op, Any, Any]]] = None,
+    batch: Optional[Callable[[Any], None]] = None,
+    uses_atomics: bool = False,
+    batch_equivalent_to_atomics: bool = False,
+    **meta: Any,
+) -> Kernel:
+    """Convenience constructor for :class:`Kernel`."""
+    return Kernel(
+        name=name,
+        uses_atomics=uses_atomics,
+        scalar=scalar,
+        batch=batch,
+        batch_equivalent_to_atomics=batch_equivalent_to_atomics,
+        meta=dict(meta),
+    )

@@ -1,0 +1,75 @@
+"""Execution policies: ``seq``, ``par``, ``par_unseq``.
+
+Mirrors ``std::execution``'s policy tag types.  A policy carries two
+facts the algorithms layer needs:
+
+* whether element access functions may be *parallelized* across threads
+  (``parallel``), and
+* whether they may be *vectorized* — interleaved on one thread / run in
+  SIMT lockstep (``vectorized``), which makes blocking synchronization
+  (atomics, locks) illegal in the kernel.
+
+The forward-progress requirement each policy imposes on the device is
+exposed as :attr:`ExecutionPolicy.required_progress` (paper Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stdpar.progress import ForwardProgress
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """An ``std::execution`` policy tag."""
+
+    name: str
+    #: May the implementation run element accesses on multiple threads?
+    parallel: bool
+    #: May the implementation interleave/vectorize element accesses on a
+    #: single thread (or run them in SIMT lockstep)?  If so, kernels must
+    #: be vectorization-safe: no atomics, no locks.
+    vectorized: bool
+
+    @property
+    def required_progress(self) -> ForwardProgress:
+        """Weakest device guarantee under which this policy's allowed
+        programs (including starvation-free ones for ``par``) terminate."""
+        if self.parallel and not self.vectorized:
+            return ForwardProgress.PARALLEL
+        if self.parallel and self.vectorized:
+            return ForwardProgress.WEAKLY_PARALLEL
+        return ForwardProgress.WEAKLY_PARALLEL  # seq: trivially fine
+
+    @property
+    def allows_atomics(self) -> bool:
+        """Atomics are vectorization-unsafe ([algorithms.parallel.defns]).
+
+        ``seq`` and ``par`` allow them; ``par_unseq`` does not.
+        """
+        return not self.vectorized
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionPolicy({self.name})"
+
+
+#: Sequential execution on the calling thread.
+seq = ExecutionPolicy("seq", parallel=False, vectorized=False)
+
+#: Parallel execution; parallel forward progress; atomics allowed.
+par = ExecutionPolicy("par", parallel=True, vectorized=False)
+
+#: Parallel + vectorized execution; weakly parallel forward progress;
+#: atomics and locks forbidden.
+par_unseq = ExecutionPolicy("par_unseq", parallel=True, vectorized=True)
+
+ALL_POLICIES = (seq, par, par_unseq)
+
+
+def get_policy(name: str) -> ExecutionPolicy:
+    """Look up a policy by name (``'seq' | 'par' | 'par_unseq'``)."""
+    for p in ALL_POLICIES:
+        if p.name == name:
+            return p
+    raise ValueError(f"unknown execution policy {name!r}")

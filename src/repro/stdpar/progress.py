@@ -1,0 +1,43 @@
+"""Forward-progress guarantees (C++ [intro.progress], paper Section II).
+
+The C++ execution policies demand different guarantees from the
+executing hardware/runtime:
+
+* ``par`` requires **parallel forward progress**: once a thread has
+  started, it is eventually scheduled again.  This is what makes
+  starvation-free algorithms (locks, critical sections) terminate.  On
+  GPUs this corresponds to NVIDIA's Independent Thread Scheduling
+  (Volta and later).
+* ``par_unseq`` requires only **weakly parallel forward progress**:
+  threads must make progress *independently of each other*, so they may
+  be executed interleaved on a SIMD lane — but they must never block on
+  one another (no locks, no atomics).
+
+The ordering below is by strength; a device satisfying a stronger
+guarantee satisfies all weaker ones.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ForwardProgress(enum.IntEnum):
+    """Forward-progress guarantee levels, weakest first."""
+
+    #: Threads may be run in lock step / interleaved; a blocked thread
+    #: can starve forever.  What a pre-Volta GPU (or any AMD/Intel GPU,
+    #: per paper refs [24], [25]) provides to individual work-items.
+    WEAKLY_PARALLEL = 1
+
+    #: A thread that has started is eventually rescheduled (ITS, OS
+    #: threads on CPUs).  Sufficient for starvation-free algorithms.
+    PARALLEL = 2
+
+    #: A thread makes progress regardless of other threads (OS threads
+    #: with a fair preemptive scheduler).  Strongest; implies PARALLEL.
+    CONCURRENT = 3
+
+    def satisfies(self, required: "ForwardProgress") -> bool:
+        """True if this guarantee is at least as strong as *required*."""
+        return self >= required

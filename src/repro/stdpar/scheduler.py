@@ -1,0 +1,260 @@
+"""A deterministic cooperative virtual-thread scheduler.
+
+This is the semantic stand-in for real CPU threads / GPU warps.  Kernels
+that use fine-grained synchronization (the Concurrent Octree build,
+Algorithm 4/5; the multipole tree reduction, Fig. 2; All-Pairs-Col's
+atomic accumulation) are written as Python *generators* that yield
+:class:`Op` objects at every atomic operation — their only
+synchronization points, exactly as in the C++ memory model.  The
+scheduler executes the yielded op atomically and resumes the thread
+according to the configured mode:
+
+* :attr:`SchedulerMode.FAIR` — round-robin over all live threads.  Every
+  started thread is eventually rescheduled: **parallel forward
+  progress**, i.e. a CPU or an NVIDIA GPU with Independent Thread
+  Scheduling.  Starvation-free algorithms terminate.
+* :attr:`SchedulerMode.LOCKSTEP` — threads are grouped into warps of
+  ``warp_width`` lanes that advance in lockstep.  On branch divergence a
+  warp serializes: lanes that failed a ``compare_exchange`` (i.e. are
+  spinning on a lock) re-execute *before* their warp-mates advance, the
+  behaviour of pre-Volta / non-ITS GPUs.  If the lock holder is a masked
+  warp-mate the spinners never succeed and the scheduler raises
+  :class:`~repro.errors.LivelockDetected` — reproducing the paper's
+  observation that "attempts to run Octree on Intel and AMD GPUs
+  reliably caused them to hang" (Section V-B).
+
+An optional ``shuffle_seed`` permutes the FAIR round order every round,
+letting property-based tests exercise many legal interleavings while
+staying fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import LivelockDetected
+from repro.machine.counters import Counters
+from repro.stdpar.atomics import AtomicArray, MemoryOrder, seq_cst
+
+
+# ----------------------------------------------------------------------
+# Operation vocabulary yielded by virtual threads.
+# ----------------------------------------------------------------------
+@dataclass
+class Op:
+    """Base class for synchronization operations."""
+
+
+@dataclass
+class Load(Op):
+    array: AtomicArray
+    index: Any
+    order: MemoryOrder = seq_cst
+
+
+@dataclass
+class Store(Op):
+    array: AtomicArray
+    index: Any
+    value: Any
+    order: MemoryOrder = seq_cst
+
+
+@dataclass
+class FetchAdd(Op):
+    array: AtomicArray
+    index: Any
+    value: Any
+    order: MemoryOrder = seq_cst
+
+
+@dataclass
+class CompareExchange(Op):
+    array: AtomicArray
+    index: Any
+    expected: Any
+    desired: Any
+    success: MemoryOrder = seq_cst
+    failure: MemoryOrder = seq_cst
+
+
+@dataclass
+class Pause(Op):
+    """A pure yield point (e.g. backoff inside a spin loop)."""
+
+
+ThreadFactory = Callable[[], Generator[Op, Any, Any]]
+
+
+class SchedulerMode(enum.Enum):
+    FAIR = "fair"          # parallel forward progress (CPU / ITS GPU)
+    LOCKSTEP = "lockstep"  # weakly parallel forward progress (no-ITS GPU)
+
+
+class _Thread:
+    __slots__ = ("gen", "pending", "finished", "spinning", "retries", "result")
+
+    def __init__(self, gen: Generator[Op, Any, Any]):
+        self.gen = gen
+        self.pending: Op | None = None
+        self.finished = False
+        self.spinning = False  # last op was a failed CAS / Pause
+        self.retries = 0
+        self.result: Any = None
+
+    def start(self) -> None:
+        try:
+            self.pending = next(self.gen)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+
+
+class VirtualThreadScheduler:
+    """Executes a set of virtual threads under a scheduling mode."""
+
+    def __init__(
+        self,
+        mode: SchedulerMode = SchedulerMode.FAIR,
+        *,
+        warp_width: int = 32,
+        spin_budget: int = 4096,
+        op_budget_per_thread: int = 100_000,
+        shuffle_seed: int | None = None,
+        counters: Counters | None = None,
+    ):
+        if warp_width < 1:
+            raise ValueError("warp_width must be >= 1")
+        self.mode = mode
+        self.warp_width = warp_width
+        self.spin_budget = spin_budget
+        self.op_budget_per_thread = op_budget_per_thread
+        self.shuffle_seed = shuffle_seed
+        self.counters = counters if counters is not None else Counters()
+        self.ops_executed = 0
+
+    # ------------------------------------------------------------------
+    def _execute(self, op: Op) -> tuple[Any, bool]:
+        """Perform *op* atomically.  Returns (result, was_spin)."""
+        self.ops_executed += 1
+        if isinstance(op, Load):
+            return op.array.load(op.index, op.order), False
+        if isinstance(op, Store):
+            op.array.store(op.index, op.value, op.order)
+            return None, False
+        if isinstance(op, FetchAdd):
+            return op.array.fetch_add(op.index, op.value, op.order), False
+        if isinstance(op, CompareExchange):
+            ok, observed = op.array.compare_exchange(
+                op.index, op.expected, op.desired, op.success, op.failure
+            )
+            return (ok, observed), not ok
+        if isinstance(op, Pause):
+            return None, True
+        raise TypeError(f"unknown op {op!r}")
+
+    def _step(self, t: _Thread) -> None:
+        """Execute the thread's pending op and advance it to the next.
+
+        Spin-branch tracking (drives lockstep divergence): a failed CAS
+        or a Pause puts the thread on the spin branch; it leaves the
+        branch only by making real progress — a successful CAS, a store,
+        or a fetch_add.  Plain loads keep the current branch, so a
+        re-load inside a spin loop does not spuriously reconverge the
+        warp (which would let a masked lock holder advance).
+        """
+        assert t.pending is not None and not t.finished
+        op = t.pending
+        result, spin = self._execute(op)
+        if spin:
+            t.spinning = True
+        elif isinstance(op, (Store, FetchAdd, CompareExchange)):
+            t.spinning = False  # successful CAS lands here (spin is False)
+        # Load: keep previous branch state.
+        t.retries = t.retries + 1 if t.spinning else 0
+        self.counters.add(lock_retries=1.0 if spin else 0.0)
+        try:
+            t.pending = t.gen.send(result)
+        except StopIteration as stop:
+            t.finished = True
+            t.result = stop.value
+
+    # ------------------------------------------------------------------
+    def run(self, factories: Iterable[ThreadFactory]) -> list[Any]:
+        """Run all threads to completion; returns their return values."""
+        threads = [_Thread(f()) for f in factories]
+        for t in threads:
+            t.start()
+        op_budget = max(10_000, self.op_budget_per_thread * max(1, len(threads)))
+
+        if self.mode is SchedulerMode.FAIR:
+            self._run_fair(threads, op_budget)
+        else:
+            self._run_lockstep(threads, op_budget)
+        return [t.result for t in threads]
+
+    # ------------------------------------------------------------------
+    def _run_fair(self, threads: Sequence[_Thread], op_budget: int) -> None:
+        rng = (
+            np.random.default_rng(self.shuffle_seed)
+            if self.shuffle_seed is not None
+            else None
+        )
+        live = [t for t in threads if not t.finished]
+        while live:
+            order = live
+            if rng is not None:
+                order = [live[i] for i in rng.permutation(len(live))]
+            for t in order:
+                if not t.finished:
+                    self._step(t)
+            if self.ops_executed > op_budget:
+                raise LivelockDetected(
+                    f"FAIR scheduler exceeded op budget ({op_budget}); "
+                    "the algorithm appears not to terminate"
+                )
+            live = [t for t in live if not t.finished]
+
+    # ------------------------------------------------------------------
+    def _run_lockstep(self, threads: Sequence[_Thread], op_budget: int) -> None:
+        warps: list[list[_Thread]] = [
+            list(threads[i : i + self.warp_width])
+            for i in range(0, len(threads), self.warp_width)
+        ]
+        live_warps = [w for w in warps if any(not t.finished for t in w)]
+        while live_warps:
+            for warp in live_warps:
+                self._step_warp(warp)
+            if self.ops_executed > op_budget:
+                raise LivelockDetected(
+                    f"LOCKSTEP scheduler exceeded op budget ({op_budget})"
+                )
+            live_warps = [w for w in live_warps if any(not t.finished for t in w)]
+
+    def _step_warp(self, warp: list[_Thread]) -> None:
+        """Advance one warp by one 'instruction'.
+
+        If any lane is spinning (its last executed op was a failed CAS or
+        a Pause), the warp has diverged and the spinning branch executes
+        first: only spinning lanes step until none spins — which never
+        happens when the lock holder is a masked lane of this same warp.
+        """
+        spinners = [t for t in warp if not t.finished and t.spinning]
+        if spinners:
+            for t in spinners:
+                if t.retries > self.spin_budget:
+                    raise LivelockDetected(
+                        "lane spun "
+                        f"{t.retries} times inside a diverged warp without the "
+                        "lock holder being scheduled; a GPU without Independent "
+                        "Thread Scheduling hangs here (paper Section V-B)"
+                    )
+                self._step(t)
+        else:
+            for t in warp:
+                if not t.finished:
+                    self._step(t)

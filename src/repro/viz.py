@@ -1,0 +1,87 @@
+"""Terminal visualization helpers.
+
+N-body runs are easiest to sanity-check visually; these renderers draw
+density maps, labeled scatters and per-step time bars as plain text so
+they work over ssh and inside test logs (the examples use them for
+their "ASCII movies").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Density shading ramp, light to dark.
+SHADES = " .:-=+*#%@"
+#: Glyphs for labeled scatter plots.
+GLYPHS = "abcdefghijklmnop"
+
+
+def density_map(
+    x: np.ndarray,
+    *,
+    width: int = 64,
+    height: int = 24,
+    axes: tuple[int, int] = (0, 1),
+    gamma: float = 3.0,
+) -> str:
+    """ASCII density of points projected onto two axes.
+
+    *gamma* > 1 boosts faint regions so sparse halos stay visible next
+    to dense cores.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2 or x.shape[0] == 0:
+        return "(no points)"
+    ax, ay = axes
+    px, py = x[:, ax], x[:, ay]
+    lo = np.array([px.min(), py.min()])
+    hi = np.array([px.max(), py.max()])
+    span = np.maximum(hi - lo, 1e-12)
+    cols = np.clip(((px - lo[0]) / span[0] * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((py - lo[1]) / span[1] * (height - 1)).astype(int), 0, height - 1)
+    counts = np.zeros((height, width), dtype=int)
+    np.add.at(counts, (rows, cols), 1)
+    peak = max(counts.max(), 1)
+    idx = np.minimum(
+        (counts / peak * (len(SHADES) - 1) * gamma).astype(int), len(SHADES) - 1
+    )
+    # y axis points up
+    return "\n".join("".join(SHADES[v] for v in row) for row in idx[::-1])
+
+
+def scatter(
+    y: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    width: int = 64,
+    height: int = 24,
+) -> str:
+    """ASCII scatter with one glyph per label (all '*' when unlabeled)."""
+    y = np.asarray(y, dtype=float)
+    if y.ndim != 2 or y.shape[1] < 2 or y.shape[0] == 0:
+        return "(no points)"
+    if labels is None:
+        labels = np.zeros(len(y), dtype=int)
+    lo = y[:, :2].min(axis=0)
+    hi = y[:, :2].max(axis=0)
+    span = np.maximum(hi - lo, 1e-12)
+    canvas = [[" "] * width for _ in range(height)]
+    for (px, py), lab in zip(y[:, :2], labels):
+        i = int(np.clip((px - lo[0]) / span[0] * (width - 1), 0, width - 1))
+        j = int(np.clip((1.0 - (py - lo[1]) / span[1]) * (height - 1), 0, height - 1))
+        canvas[j][i] = GLYPHS[int(lab) % len(GLYPHS)] if labels is not None else "*"
+    return "\n".join("".join(row) for row in canvas)
+
+
+def time_bars(seconds: dict[str, float], *, width: int = 46) -> str:
+    """Horizontal bars of per-step wall time (for StepReport.seconds)."""
+    if not seconds:
+        return "(no steps)"
+    total = sum(seconds.values())
+    peak = max(seconds.values())
+    lines = []
+    for step, t in sorted(seconds.items(), key=lambda kv: -kv[1]):
+        bar = "#" * max(1, int(round(t / max(peak, 1e-300) * width)))
+        share = t / total * 100 if total else 0.0
+        lines.append(f"{step:>16s} |{bar:<{width}s}| {t:9.4f}s {share:5.1f}%")
+    return "\n".join(lines)

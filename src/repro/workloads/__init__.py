@@ -1,0 +1,31 @@
+"""Deterministic workload generators.
+
+* :func:`galaxy_collision` — the paper's benchmark workload: "a
+  deterministic collision between two neighboring Galaxies with varying
+  number of bodies" (Section V-A), realized as two Plummer spheres on
+  an approach orbit.
+* :func:`plummer_sphere` — the standard collisionless test galaxy.
+* :func:`uniform_cube` — uniform random bodies (worst case for tree
+  locality; used by property tests and ablations).
+* :func:`solar_system` — synthetic stand-in for NASA JPL's Small-Body
+  Database used in the validation experiment (Keplerian orbits around
+  a dominant central mass; see DESIGN.md substitution table).
+
+All generators are seeded and reproducible: the same arguments always
+produce bit-identical systems.
+"""
+
+from repro.workloads.plummer import plummer_sphere
+from repro.workloads.galaxy import galaxy_collision
+from repro.workloads.uniform import uniform_cube
+from repro.workloads.solar import solar_system, SOLAR_GM, AU, DAY
+
+__all__ = [
+    "plummer_sphere",
+    "galaxy_collision",
+    "uniform_cube",
+    "solar_system",
+    "SOLAR_GM",
+    "AU",
+    "DAY",
+]

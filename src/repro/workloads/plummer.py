@@ -1,0 +1,81 @@
+"""Plummer-sphere galaxy model.
+
+The Plummer profile is the standard initial condition for collisionless
+galaxy experiments (Aarseth, Hénon & Wielen 1974 sampling).  Positions
+follow the density rho(r) ∝ (1 + r²/a²)^(-5/2); velocities are drawn
+from the isotropic distribution function via von Neumann rejection, so
+the sphere starts in virial equilibrium (2T + U ≈ 0), which the tests
+check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.bodies import BodySystem
+from repro.types import FLOAT
+
+
+def plummer_sphere(
+    n: int,
+    *,
+    total_mass: float = 1.0,
+    scale_radius: float = 1.0,
+    G: float = 1.0,
+    seed: int = 0,
+    dim: int = 3,
+    rng: np.random.Generator | None = None,
+) -> BodySystem:
+    """A virialized Plummer sphere of *n* equal-mass bodies."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if dim != 3:
+        raise ValueError("the Plummer sampler is 3-D only")
+    rng = np.random.default_rng(seed) if rng is None else rng
+    a = scale_radius
+    m = np.full(n, total_mass / max(n, 1), dtype=FLOAT)
+
+    # Radius via inverse-CDF of the enclosed-mass fraction.
+    u = rng.uniform(0.0, 1.0, n)
+    # Clip to avoid the (measure-zero) infinite tail.
+    u = np.clip(u, 1e-10, 1.0 - 1e-10)
+    r = a / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+
+    # Isotropic directions.
+    x = _isotropic(rng, n, r)
+
+    # Speed from the distribution function g(q) = q^2 (1 - q^2)^(7/2),
+    # q = v / v_esc, by rejection sampling (classic Aarseth trick).
+    q = np.empty(n, dtype=FLOAT)
+    remaining = np.arange(n)
+    while remaining.size:
+        q1 = rng.uniform(0.0, 1.0, remaining.size)
+        q2 = rng.uniform(0.0, 0.1, remaining.size)
+        ok = q2 < q1 * q1 * (1.0 - q1 * q1) ** 3.5
+        q[remaining[ok]] = q1[ok]
+        remaining = remaining[~ok]
+    v_esc = np.sqrt(2.0 * G * total_mass) * (r * r + a * a) ** -0.25
+    v = _isotropic(rng, n, q * v_esc)
+
+    sys = BodySystem(x, v, m)
+    _zero_com(sys)
+    return sys
+
+
+def _isotropic(rng: np.random.Generator, n: int, radius: np.ndarray) -> np.ndarray:
+    """Points at the given radii in uniformly random directions."""
+    z = rng.uniform(-1.0, 1.0, n)
+    phi = rng.uniform(0.0, 2.0 * np.pi, n)
+    s = np.sqrt(np.maximum(1.0 - z * z, 0.0))
+    return (radius[:, None] * np.stack(
+        (s * np.cos(phi), s * np.sin(phi), z), axis=1
+    )).astype(FLOAT)
+
+
+def _zero_com(sys: BodySystem) -> None:
+    """Move to the centre-of-mass frame (exact momentum zero)."""
+    if sys.n == 0:
+        return
+    M = sys.total_mass
+    sys.x -= (sys.m[:, None] * sys.x).sum(axis=0) / M
+    sys.v -= (sys.m[:, None] * sys.v).sum(axis=0) / M

@@ -1,0 +1,111 @@
+"""Synthetic solar-system small-body population.
+
+Stand-in for the validation dataset of paper Section V-A (1,039,551
+small bodies from NASA JPL's Small-Body Database, evolved for one day
+at one-hour timesteps).  The database itself is not redistributable
+offline, so we synthesize a belt-like population with the same
+*dynamical character*: a dominant central mass and Keplerian orbits
+with main-belt element distributions — which is exactly what makes
+Barnes-Hut accurate on this workload (distant bodies cluster around
+the Sun) and what the validation experiment exercises.
+
+Units: AU, days, solar masses.  With ``G = SOLAR_GM`` a body of mass 1
+at the origin reproduces heliocentric orbital periods (Kepler's third
+law: a 1 AU circular orbit takes 365.25 days).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams
+from repro.types import FLOAT
+
+#: One astronomical unit / one day, in workload units.
+AU = 1.0
+DAY = 1.0
+
+#: Gaussian gravitational constant squared: G * M_sun in AU^3 / day^2.
+SOLAR_GM = 0.01720209895**2
+
+#: Gravity parameters to use with this workload (softening-free:
+#: orbits must be exact Kepler dynamics).
+SOLAR_GRAVITY = GravityParams(G=SOLAR_GM, softening=0.0)
+
+
+def _solve_kepler(mean_anom: np.ndarray, ecc: np.ndarray, iters: int = 12) -> np.ndarray:
+    """Solve E - e sin E = M by vectorized Newton iteration."""
+    E = mean_anom + ecc * np.sin(mean_anom)
+    for _ in range(iters):
+        f = E - ecc * np.sin(E) - mean_anom
+        E = E - f / (1.0 - ecc * np.cos(E))
+    return E
+
+
+def solar_system(
+    n: int,
+    *,
+    seed: int = 0,
+    include_sun: bool = True,
+    sun_mass: float = 1.0,
+    body_mass: float = 1e-12,
+) -> BodySystem:
+    """``n`` bodies total (Sun + n-1 small bodies if *include_sun*).
+
+    Element distributions loosely follow the main asteroid belt:
+    semi-major axes 1.8-4.5 AU (log-uniform), Rayleigh eccentricities
+    (sigma 0.1, clipped at 0.6), Rayleigh inclinations (sigma 8 deg).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_small = n - 1 if include_sun else n
+
+    a = np.exp(rng.uniform(np.log(1.8), np.log(4.5), n_small))
+    e = np.clip(rng.rayleigh(0.10, n_small), 0.0, 0.6)
+    inc = np.clip(rng.rayleigh(np.deg2rad(8.0), n_small), 0.0, np.deg2rad(40.0))
+    raan = rng.uniform(0.0, 2.0 * np.pi, n_small)   # longitude of node
+    argp = rng.uniform(0.0, 2.0 * np.pi, n_small)   # argument of perihelion
+    mean = rng.uniform(0.0, 2.0 * np.pi, n_small)   # mean anomaly
+
+    E = _solve_kepler(mean, e)
+    mu = SOLAR_GM * sun_mass
+
+    # Perifocal position and velocity.
+    cosE, sinE = np.cos(E), np.sin(E)
+    r = a * (1.0 - e * cosE)
+    xp = a * (cosE - e)
+    yp = a * np.sqrt(1.0 - e * e) * sinE
+    k = np.sqrt(mu * a) / r
+    vxp = -k * sinE
+    vyp = k * np.sqrt(1.0 - e * e) * cosE
+
+    # Rotate perifocal -> ecliptic (Rz(raan) Rx(inc) Rz(argp)).
+    cO, sO = np.cos(raan), np.sin(raan)
+    ci, si = np.cos(inc), np.sin(inc)
+    cw, sw = np.cos(argp), np.sin(argp)
+    r11 = cO * cw - sO * sw * ci
+    r12 = -cO * sw - sO * cw * ci
+    r21 = sO * cw + cO * sw * ci
+    r22 = -sO * sw + cO * cw * ci
+    r31 = sw * si
+    r32 = cw * si
+
+    def rotate(px, py):
+        return np.stack(
+            (r11 * px + r12 * py, r21 * px + r22 * py, r31 * px + r32 * py),
+            axis=1,
+        ).astype(FLOAT)
+
+    x_small = rotate(xp, yp)
+    v_small = rotate(vxp, vyp)
+    m_small = np.full(n_small, body_mass, dtype=FLOAT)
+
+    if include_sun:
+        x = np.concatenate((np.zeros((1, 3), dtype=FLOAT), x_small))
+        v = np.concatenate((np.zeros((1, 3), dtype=FLOAT), v_small))
+        m = np.concatenate((np.array([sun_mass], dtype=FLOAT), m_small))
+    else:
+        x, v, m = x_small, v_small, m_small
+    return BodySystem(x, v, m)

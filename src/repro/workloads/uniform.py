@@ -1,0 +1,36 @@
+"""Uniform random bodies in a cube.
+
+The least tree-friendly distribution (no clustering): used by property
+tests, the ordering ablation, and as a stress case for the traversal
+kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.physics.bodies import BodySystem
+from repro.types import FLOAT
+
+
+def uniform_cube(
+    n: int,
+    *,
+    side: float = 1.0,
+    seed: int = 0,
+    dim: int = 3,
+    velocity_scale: float = 0.0,
+    equal_mass: bool = True,
+) -> BodySystem:
+    """``n`` bodies uniform in ``[0, side]^dim`` with optional random
+    velocities and (optionally) random masses in ``[0.5, 1.5]/n``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    x = (side * rng.random((n, dim))).astype(FLOAT)
+    v = (velocity_scale * rng.standard_normal((n, dim))).astype(FLOAT)
+    if equal_mass:
+        m = np.full(n, 1.0 / max(n, 1), dtype=FLOAT)
+    else:
+        m = ((0.5 + rng.random(n)) / max(n, 1)).astype(FLOAT)
+    return BodySystem(x, v, m)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams
+from repro.stdpar.context import ExecutionContext
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cloud(rng) -> BodySystem:
+    """200 bodies, uniform cube, random masses."""
+    n = 200
+    return BodySystem(
+        rng.random((n, 3)),
+        0.1 * rng.standard_normal((n, 3)),
+        rng.random(n) + 0.1,
+    )
+
+
+@pytest.fixture
+def tiny_cloud(rng) -> BodySystem:
+    n = 32
+    return BodySystem(
+        rng.random((n, 3)),
+        np.zeros((n, 3)),
+        np.ones(n),
+    )
+
+
+@pytest.fixture
+def cloud_2d(rng) -> BodySystem:
+    n = 100
+    return BodySystem(
+        rng.random((n, 2)),
+        np.zeros((n, 2)),
+        rng.random(n) + 0.5,
+    )
+
+
+@pytest.fixture
+def soft_gravity() -> GravityParams:
+    return GravityParams(G=1.0, softening=1e-3)
+
+
+@pytest.fixture
+def ctx() -> ExecutionContext:
+    return ExecutionContext()
+
+
+@pytest.fixture
+def ref_ctx() -> ExecutionContext:
+    return ExecutionContext(backend="reference")

@@ -1,0 +1,64 @@
+"""Tests for the Appendix A artifact workflow (bench -> JSON -> report)."""
+
+import json
+
+import pytest
+
+from repro.bench.artifact import (
+    ALL_FIGURES,
+    format_report,
+    load_artifact,
+    run_artifact,
+    save_artifact,
+)
+from repro.cli import main
+
+
+class TestArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return run_artifact(("fig5",), max_direct=2000)
+
+    def test_structure(self, artifact):
+        assert artifact["artifact_version"] == 1
+        assert "fig5" in artifact["figures"]
+        rows = artifact["figures"]["fig5"]["rows"]
+        assert len(rows) == 16  # 4 CPUs x 4 algorithms
+        assert all(r["figure"] == "fig5" for r in rows)
+
+    def test_roundtrip(self, artifact, tmp_path):
+        p = tmp_path / "a.json"
+        save_artifact(artifact, p)
+        loaded = load_artifact(p)
+        assert loaded["figures"]["fig5"]["rows"] == artifact["figures"]["fig5"]["rows"]
+
+    def test_json_serializable(self, artifact):
+        json.dumps(artifact)  # no numpy leakage
+
+    def test_report_renders_all_rows(self, artifact):
+        text = format_report(artifact)
+        assert "Figure 5" in text
+        assert "16 data points" in text
+        assert "AMD 9654 (Genoa)" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            run_artifact(("fig99",))
+
+    def test_version_check(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"artifact_version": 99}))
+        with pytest.raises(ValueError):
+            load_artifact(p)
+
+    def test_all_figures_registered(self):
+        assert set(ALL_FIGURES) == {"fig5", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_cli_workflow(self, tmp_path, capsys):
+        out = tmp_path / "artifact.json"
+        rc = main(["bench", "--figure", "fig5", "--out", str(out),
+                   "--max-direct", "2000"])
+        assert rc == 0 and out.exists()
+        rc = main(["report", str(out)])
+        assert rc == 0
+        assert "Figure 5" in capsys.readouterr().out

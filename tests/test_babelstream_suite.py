@@ -1,0 +1,61 @@
+"""Tests for the full BabelStream kernel family."""
+
+import pytest
+
+from repro.machine.babelstream import babelstream_suite
+from repro.machine.catalog import HOST, get_device
+
+
+class TestSuite:
+    @pytest.fixture(scope="class")
+    def h100(self):
+        return babelstream_suite(get_device("h100"), n=2**22)
+
+    def test_five_kernels(self, h100):
+        assert [r.kernel for r in h100] == ["Copy", "Mul", "Add", "Triad", "Dot"]
+
+    def test_all_bandwidth_bound_near_measured(self, h100):
+        d = get_device("h100")
+        for r in h100:
+            assert 0.6 * d.measured_bw_gbs < r.predicted_gbs <= d.theoretical_bw_gbs
+
+    def test_triad_consistent_with_table1_kernel(self, h100):
+        from repro.machine.babelstream import babelstream_triad
+
+        triad = next(r for r in h100 if r.kernel == "Triad")
+        single = babelstream_triad(get_device("h100"), n=2**22)
+        assert triad.predicted_gbs == pytest.approx(single.predicted_gbs, rel=0.05)
+
+    def test_catalog_devices_not_measured(self, h100):
+        assert all(r.measured_gbs is None for r in h100)
+
+    def test_host_measured(self):
+        rows = babelstream_suite(HOST, n=2**18)
+        assert all(r.measured_gbs is not None and r.measured_gbs > 0 for r in rows)
+
+    def test_kernels_compute_correct_values(self):
+        """Copy/Mul/Add/Triad/Dot produce the right arithmetic."""
+        import numpy as np
+
+        from repro.machine.babelstream import _stream_kernels
+
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0])
+        c = np.array([5.0, 6.0])
+        ks = {k.name: k for k in _stream_kernels()}
+        ks["Copy"].apply(a, b, c)
+        assert np.array_equal(c, a)
+        ks["Mul"].apply(a, b, c)
+        assert np.allclose(b, 0.4 * c)
+        ks["Add"].apply(a, b, c)
+        assert np.allclose(c, a + b)
+        ks["Triad"].apply(a, b, c)
+        assert np.allclose(a, b + 0.4 * c)
+        assert ks["Dot"].apply(a, b, c) == pytest.approx(float(a @ b))
+
+    def test_traffic_accounting(self):
+        from repro.machine.babelstream import _stream_kernels
+
+        for k in _stream_kernels():
+            assert k.bytes_per_element in (16.0, 24.0)
+            assert k.read_bytes_per_element >= 8.0

@@ -1,0 +1,158 @@
+"""Tests for the benchmark harness: extrapolation, measurement,
+projection, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.extrapolate import extrapolate_counters, fit_power_law
+from repro.bench.report import format_table
+from repro.bench.runner import MeasuredRun, measure_pipeline, project_throughput
+from repro.core.config import SimulationConfig
+from repro.machine.catalog import get_device
+from repro.machine.counters import Counters, StepCounters
+from repro.physics.gravity import GravityParams
+from repro.workloads import uniform_cube
+
+
+class TestPowerLaw:
+    def test_exact_linear(self):
+        ns = np.array([100, 200, 400])
+        a, b = fit_power_law(ns, 3.0 * ns)
+        assert a == pytest.approx(3.0, rel=1e-9)
+        assert b == pytest.approx(1.0, rel=1e-9)
+
+    def test_exact_quadratic(self):
+        ns = np.array([10, 100, 1000])
+        a, b = fit_power_law(ns, 0.5 * ns.astype(float) ** 2)
+        assert b == pytest.approx(2.0, rel=1e-9)
+
+    def test_nlogn_locally_power_law(self):
+        """N log N fits a local power law with exponent slightly > 1 and
+        extrapolates a 10x size step within a few percent."""
+        ns = np.array([4000, 8000, 16000], dtype=float)
+        ys = ns * np.log2(ns)
+        a, b = fit_power_law(ns, ys)
+        assert 1.0 < b < 1.15
+        pred = a * 160000.0**b
+        true = 160000 * np.log2(160000)
+        assert pred == pytest.approx(true, rel=0.05)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+
+
+class TestExtrapolateCounters:
+    def make(self, n, exponent=1.0):
+        s = StepCounters()
+        s.step("force").add(flops=2.0 * n**exponent, traversal_steps=float(n))
+        s.step("sort").add(sort_comparisons=n * np.log2(n))
+        return s
+
+    def test_extrapolates_per_field(self):
+        sizes = [1000, 2000, 4000]
+        runs = [self.make(n, 2.0) for n in sizes]
+        out = extrapolate_counters(sizes, runs, 16000)
+        assert out.step("force").flops == pytest.approx(2.0 * 16000**2, rel=1e-6)
+        assert out.step("force").traversal_steps == pytest.approx(16000, rel=1e-6)
+
+    def test_zero_fields_stay_zero(self):
+        sizes = [100, 200]
+        runs = [self.make(n) for n in sizes]
+        out = extrapolate_counters(sizes, runs, 1000)
+        assert out.step("force").atomic_ops == 0.0
+
+    def test_step_set_union(self):
+        a = StepCounters()
+        a.step("x").add(flops=1)
+        b = StepCounters()
+        b.step("x").add(flops=2)
+        b.step("y").add(flops=4)
+        out = extrapolate_counters([10, 20], [a, b], 40)
+        assert "y" in out.steps
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            extrapolate_counters([10], [self.make(10)], 100)
+
+
+class TestMeasurePipeline:
+    CFG = SimulationConfig(theta=0.5, gravity=GravityParams(softening=0.05))
+
+    def test_direct_execution(self):
+        run = measure_pipeline(
+            lambda n: uniform_cube(n, seed=0), "bvh", 500, config=self.CFG
+        )
+        assert run.measured_at == 500
+        assert run.counters.step("force").traversal_steps > 0
+        assert run.wall_seconds > 0
+
+    def test_ladder_extrapolation(self):
+        run = measure_pipeline(
+            lambda n: uniform_cube(n, seed=0), "bvh", 50_000,
+            config=self.CFG, max_direct=2_000,
+        )
+        assert run.measured_at < 50_000
+        assert run.n == 50_000
+        assert run.meta["ladder"][-1] <= 2000
+        # superlinear totals: more work than the largest measured size
+        assert (run.counters.step("force").traversal_steps
+                > 25 * 2000)  # ~linear-plus in N
+
+    def test_extrapolation_consistent_with_direct(self):
+        """Extrapolated counters at a directly-measurable size are close
+        to the directly measured ones (validates the whole scheme)."""
+        mk = lambda n: uniform_cube(n, seed=0)
+        direct = measure_pipeline(mk, "bvh", 8000, config=self.CFG)
+        extrap = measure_pipeline(mk, "bvh", 8000, config=self.CFG, max_direct=2000)
+        d = direct.counters.step("force").traversal_steps
+        e = extrap.counters.step("force").traversal_steps
+        assert e == pytest.approx(d, rel=0.25)
+
+
+class TestProjection:
+    def run_for(self, alg="bvh", n=1000):
+        return measure_pipeline(
+            lambda k: uniform_cube(k, seed=0), alg, n,
+            config=TestMeasurePipeline.CFG,
+        )
+
+    def test_throughput_positive(self):
+        run = self.run_for()
+        thr = project_throughput(run, get_device("h100"))
+        assert thr is not None and thr > 0
+
+    def test_octree_unsupported_on_amd(self):
+        run = self.run_for("octree")
+        assert project_throughput(run, get_device("mi300x")) is None
+        assert project_throughput(run, get_device("h100")) is not None
+
+    def test_sequential_slower(self):
+        run = self.run_for()
+        d = get_device("genoa")
+        assert project_throughput(run, d, sequential=True) < project_throughput(run, d)
+
+    def test_faster_device_higher_throughput(self):
+        run = self.run_for()
+        assert (project_throughput(run, get_device("gh200"))
+                > project_throughput(run, get_device("v100")))
+
+
+class TestReport:
+    def test_format_basic(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": None}], title="T")
+        assert "T" in out and "n/a" in out and "10" in out
+
+    def test_column_order_stable(self):
+        out = format_table([{"z": 1, "a": 2}])
+        header = out.splitlines()[0]
+        assert header.index("z") < header.index("a")
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_scientific_formatting(self):
+        out = format_table([{"x": 1.23456e9}])
+        assert "1.235e+09" in out

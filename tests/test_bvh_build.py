@@ -1,0 +1,136 @@
+"""Tests for HILBERTSORT and the fused BVH build (paper Alg. 6/7)."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.build import assemble_bvh, build_bvh, hilbert_sort_permutation
+from repro.geometry.aabb import compute_bounding_box
+from repro.geometry.hilbert import hilbert_encode
+from repro.geometry.aabb import quantize_to_grid
+from repro.stdpar.context import ExecutionContext
+
+
+class TestHilbertSort:
+    def test_is_permutation(self, small_cloud):
+        box = compute_bounding_box(small_cloud.x)
+        perm = hilbert_sort_permutation(small_cloud.x, box)
+        assert sorted(perm.tolist()) == list(range(small_cloud.n))
+
+    def test_orders_by_hilbert_key(self, small_cloud):
+        box = compute_bounding_box(small_cloud.x)
+        perm = hilbert_sort_permutation(small_cloud.x, box, bits=10)
+        keys = hilbert_encode(quantize_to_grid(small_cloud.x, box, 10), 10)
+        assert (np.diff(keys[perm].astype(np.int64)) >= 0).all()
+
+    def test_spatial_locality_of_sorted_order(self, rng):
+        """Hilbert-adjacent bodies are spatially close: mean hop length
+        along the sorted order is much smaller than random order."""
+        x = rng.random((2000, 3))
+        box = compute_bounding_box(x)
+        perm = hilbert_sort_permutation(x, box)
+        hop_sorted = np.linalg.norm(np.diff(x[perm], axis=0), axis=1).mean()
+        hop_random = np.linalg.norm(np.diff(x, axis=0), axis=1).mean()
+        assert hop_sorted < 0.25 * hop_random
+
+    def test_morton_curve_option(self, small_cloud):
+        box = compute_bounding_box(small_cloud.x)
+        pm = hilbert_sort_permutation(small_cloud.x, box, curve="morton")
+        ph = hilbert_sort_permutation(small_cloud.x, box, curve="hilbert")
+        assert sorted(pm.tolist()) == list(range(small_cloud.n))
+        assert not np.array_equal(pm, ph)  # genuinely different orders
+
+    def test_unknown_curve(self, small_cloud):
+        box = compute_bounding_box(small_cloud.x)
+        with pytest.raises(ValueError):
+            hilbert_sort_permutation(small_cloud.x, box, curve="peano")
+
+    def test_empty(self):
+        box = compute_bounding_box(np.zeros((0, 3)))
+        assert len(hilbert_sort_permutation(np.zeros((0, 3)), box)) == 0
+
+    def test_sort_counted_via_ctx(self, small_cloud, ctx):
+        box = compute_bounding_box(small_cloud.x)
+        hilbert_sort_permutation(small_cloud.x, box, ctx=ctx)
+        assert ctx.counters.sort_comparisons > 0
+
+
+class TestBuild:
+    def test_root_mass_and_count(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        assert bvh.mass[0] == pytest.approx(small_cloud.m.sum(), rel=1e-12)
+        assert bvh.count[0] == small_cloud.n
+
+    def test_root_box_covers_all(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        assert (bvh.bb_lo[0] <= small_cloud.x.min(0)).all()
+        assert (bvh.bb_hi[0] >= small_cloud.x.max(0)).all()
+
+    def test_parent_boxes_contain_children(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        lay = bvh.layout
+        for level in range(lay.n_levels - 1):
+            sl = lay.level_slice(level)
+            k = np.arange(sl.start, sl.stop)
+            for c in (2 * k + 1, 2 * k + 2):
+                assert (bvh.bb_lo[k] <= bvh.bb_lo[c]).all()
+                assert (bvh.bb_hi[k] >= bvh.bb_hi[c]).all()
+
+    def test_parent_moments_sum_children(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        lay = bvh.layout
+        for level in range(lay.n_levels - 1):
+            sl = lay.level_slice(level)
+            k = np.arange(sl.start, sl.stop)
+            assert np.allclose(
+                bvh.mass[k], bvh.mass[2 * k + 1] + bvh.mass[2 * k + 2], rtol=1e-12
+            )
+            assert np.array_equal(
+                bvh.count[k], bvh.count[2 * k + 1] + bvh.count[2 * k + 2]
+            )
+
+    def test_padding_leaves_empty(self):
+        rng = np.random.default_rng(0)
+        n = 5  # pads to 8 leaves
+        bvh = build_bvh(rng.random((n, 3)), np.ones(n))
+        fl = bvh.layout.first_leaf
+        assert (bvh.mass[fl + n :] == 0).all()
+        assert (bvh.count[fl + n :] == 0).all()
+        # empty boxes are inverted (+inf/-inf)
+        assert np.all(np.isinf(bvh.bb_lo[fl + n :]))
+
+    def test_leaf_com_bitwise_equals_body(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        fl = bvh.layout.first_leaf
+        n = small_cloud.n
+        assert np.array_equal(bvh.com[fl : fl + n], bvh.x_sorted)
+
+    def test_leaves_follow_hilbert_order(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        assert np.array_equal(bvh.x_sorted, small_cloud.x[bvh.perm])
+
+    def test_single_body(self):
+        bvh = build_bvh(np.array([[0.1, 0.2, 0.3]]), np.array([5.0]))
+        assert bvh.layout.n_nodes == 1
+        assert bvh.mass[0] == 5.0
+
+    def test_node_size2_zero_for_points_and_empties(self, small_cloud):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        fl = bvh.layout.first_leaf
+        s2 = bvh.node_size2()
+        assert (s2[fl:] == 0).all()          # single points and empties
+        assert s2[0] > 0                     # root box is extended
+
+    def test_assemble_with_external_perm(self, small_cloud):
+        box = compute_bounding_box(small_cloud.x)
+        perm = hilbert_sort_permutation(small_cloud.x, box)
+        a = assemble_bvh(small_cloud.x, small_cloud.m, perm, box)
+        b = build_bvh(small_cloud.x, small_cloud.m)
+        assert np.array_equal(a.com, b.com)
+        assert np.array_equal(a.mass, b.mass)
+
+    def test_build_counters(self, small_cloud, ctx):
+        build_bvh(small_cloud.x, small_cloud.m, ctx=ctx)
+        c = ctx.counters
+        assert c.sort_comparisons > 0
+        assert c.atomic_ops == 0  # the whole strategy is atomics-free
+        assert c.bytes_written > 0

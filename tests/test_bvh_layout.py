@@ -1,0 +1,105 @@
+"""Tests for the implicit balanced BVH layout and skip list."""
+
+import numpy as np
+import pytest
+
+from repro.bvh.layout import DONE, BVHLayout, bvh_escape_indices, next_pow2
+
+
+class TestNextPow2:
+    @pytest.mark.parametrize("n,expect", [(0, 1), (1, 1), (2, 2), (3, 4),
+                                          (4, 4), (5, 8), (1000, 1024)])
+    def test_values(self, n, expect):
+        assert next_pow2(n) == expect
+
+
+class TestLayout:
+    def test_shape_is_predetermined(self):
+        """Paper: levels, nodes per level and total nodes are pure
+        functions of the leaf count."""
+        lay = BVHLayout(8)
+        assert lay.n_levels == 4
+        assert lay.n_nodes == 15
+        assert lay.first_leaf == 7
+
+    def test_level_slices_partition_nodes(self):
+        lay = BVHLayout(16)
+        seen = []
+        for level in range(lay.n_levels):
+            sl = lay.level_slice(level)
+            seen.extend(range(sl.start, sl.stop))
+            assert sl.stop - sl.start == 1 << level
+        assert seen == list(range(lay.n_nodes))
+
+    def test_parent_child_inverse(self):
+        lay = BVHLayout(16)
+        nodes = np.arange(1, lay.n_nodes)
+        parents = lay.parent(nodes)
+        children = lay.first_child(parents)
+        assert np.all((children == nodes) | (children + 1 == nodes))
+
+    def test_is_leaf(self):
+        lay = BVHLayout(4)
+        assert not lay.is_leaf(np.array([0, 1, 2])).any()
+        assert lay.is_leaf(np.array([3, 4, 5, 6])).all()
+
+    def test_level_of(self):
+        lay = BVHLayout(8)
+        assert lay.level_of(np.array([0])) == 0
+        assert lay.level_of(np.array([1, 2])).tolist() == [1, 1]
+        assert lay.level_of(np.array([7, 14])).tolist() == [3, 3]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BVHLayout(6)
+
+    def test_single_leaf(self):
+        lay = BVHLayout(1)
+        assert lay.n_nodes == 1 and lay.n_levels == 1 and lay.first_leaf == 0
+
+
+class TestEscapeIndices:
+    def walk(self, p):
+        """Full DFS opening every node via skip pointers."""
+        esc = bvh_escape_indices(p)
+        lay = BVHLayout(p)
+        order = []
+        node = 0
+        while node != DONE:
+            order.append(node)
+            node = 2 * node + 1 if not lay.is_leaf(node) else int(esc[node])
+        return order
+
+    def preorder(self, p):
+        lay = BVHLayout(p)
+        out = []
+
+        def rec(k):
+            out.append(k)
+            if not lay.is_leaf(k):
+                rec(2 * k + 1)
+                rec(2 * k + 2)
+
+        rec(0)
+        return out
+
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 32, 128])
+    def test_walk_is_preorder(self, p):
+        assert self.walk(p) == self.preorder(p)
+
+    def test_multi_level_jump(self):
+        """The skip list jumps across levels: from the last leaf of the
+        left half directly to the right child of the root."""
+        esc = bvh_escape_indices(8)
+        # leaves of left subtree: 7..10; last one jumps to node 2
+        assert esc[10] == 2
+
+    def test_cached_and_readonly(self):
+        a = bvh_escape_indices(16)
+        b = bvh_escape_indices(16)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0] = 5
+
+    def test_root_escape_done(self):
+        assert bvh_escape_indices(4)[0] == DONE

@@ -1,0 +1,125 @@
+"""Property-based tests on the cost model: it must behave like a cost.
+
+Monotonicity and scaling sanity: more counted work never predicts less
+time; a uniformly better device never predicts more time; doubling all
+additive work roughly doubles predicted time.  These hold for *every*
+device/counter combination — exactly the kind of global invariant a
+hand-built model can silently break during calibration.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.catalog import DEVICES, get_device
+from repro.machine.costmodel import CostModel, predict_time
+from repro.machine.counters import Counters, StepCounters
+
+DEVICE_KEYS = sorted(k for k in DEVICES if k != "host")
+
+ADDITIVE_FIELDS = (
+    "flops", "special_flops", "bytes_read", "bytes_written",
+    "bytes_irregular", "atomic_ops", "sync_atomic_ops",
+    "contended_atomic_ops", "sort_comparisons", "kernel_launches",
+    "serial_node_ops",
+)
+
+counter_strategy = st.fixed_dictionaries({
+    "flops": st.floats(0, 1e12),
+    "bytes_read": st.floats(0, 1e11),
+    "bytes_written": st.floats(0, 1e10),
+    "atomic_ops": st.floats(0, 1e9),
+    "sort_comparisons": st.floats(0, 1e9),
+    "kernel_launches": st.floats(0, 100),
+})
+
+
+def _steps(kw) -> StepCounters:
+    s = StepCounters()
+    c = s.step("main")
+    c.add(**kw)
+    # keep derived invariants consistent
+    c.special_flops = min(c.special_flops, c.flops)
+    c.bytes_irregular = min(c.bytes_irregular, c.bytes_read)
+    c.sync_atomic_ops = min(c.sync_atomic_ops, c.atomic_ops)
+    return s
+
+
+class TestMonotonicity:
+    @given(
+        st.sampled_from(DEVICE_KEYS),
+        counter_strategy,
+        st.sampled_from(ADDITIVE_FIELDS),
+        st.floats(1.0, 1e8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_more_work_never_cheaper(self, key, base, field, extra):
+        device = get_device(key)
+        s0 = _steps(base)
+        t0 = predict_time(device, s0)
+        s1 = _steps(base)
+        s1.step("main").add(**{field: extra})
+        c = s1.step("main")
+        # Restore the invariants real counters always satisfy.
+        # bytes_irregular is a *classification* of bytes_read (tree
+        # kernels add both together): growing it alone would merely
+        # reclassify streaming traffic as cache-resident, which is
+        # legitimately cheaper on devices with irr_frac > 1.
+        if field == "bytes_irregular":
+            c.add(bytes_read=extra)
+        c.special_flops = min(c.special_flops, c.flops)
+        c.sync_atomic_ops = min(c.sync_atomic_ops, c.atomic_ops)
+        c.bytes_irregular = min(c.bytes_irregular, c.bytes_read)
+        t1 = predict_time(device, s1)
+        assert t1 >= t0 - 1e-15
+
+    @given(st.sampled_from(DEVICE_KEYS), counter_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_time_nonnegative_and_finite(self, key, base):
+        t = predict_time(get_device(key), _steps(base))
+        assert np.isfinite(t) and t >= 0
+
+    @given(st.sampled_from(DEVICE_KEYS), counter_strategy, st.floats(1.5, 8.0))
+    @settings(max_examples=80, deadline=None)
+    def test_scaling_roughly_linear(self, key, base, k):
+        """Scaling every additive counter by k scales time by ~k (the
+        NUMA threshold term makes it at-least-k in rare crossings)."""
+        device = get_device(key)
+        s0 = _steps(base)
+        t0 = predict_time(device, s0)
+        if t0 < 1e-12:
+            return
+        scaled = {f: v * k for f, v in base.items()}
+        t1 = predict_time(device, _steps(scaled))
+        assert t1 >= 0.99 * t0           # never cheaper
+        assert t1 <= (k + 0.01) * t0 * 2.3  # bounded by k x NUMA penalty
+
+    @given(counter_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_sequential_never_faster_than_parallel(self, base):
+        for key in ("genoa", "h100"):
+            device = get_device(key)
+            s = _steps(base)
+            par = predict_time(device, s)
+            seq = predict_time(device, s, sequential=True)
+            # Launch overhead exists only in parallel mode; skip cases
+            # where it dominates the parallel estimate.
+            launch = (s.step("main").kernel_launches
+                      * device.toolchain_profile(device.default_toolchain)
+                      .launch_overhead_us * 1e-6)
+            if par <= 2.0 * launch + 1e-12:
+                continue
+            assert seq >= 0.5 * par
+
+    def test_breakdown_sums_to_total(self):
+        device = get_device("gh200")
+        c = Counters(flops=1e10, bytes_read=1e9, bytes_irregular=5e8,
+                     atomic_ops=1e6, sync_atomic_ops=1e5,
+                     contended_atomic_ops=100, sort_comparisons=1e7,
+                     kernel_launches=5, serial_node_ops=1e4)
+        bd = CostModel(device).step_time(c)
+        assert bd.total == pytest.approx(
+            max(bd.compute, bd.memory) + bd.atomics + bd.sort
+            + bd.launch + bd.serial
+        )

@@ -1,0 +1,71 @@
+"""Executable-documentation tests: every example must run clean.
+
+Examples are a deliverable; these tests keep them from rotting.  Each
+runs as a subprocess (isolating sys.argv and import state) at reduced
+problem sizes where the script accepts one.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "energy drift" in out
+        assert "tree-node visits" in out
+
+    def test_galaxy_collision(self):
+        out = run_example("galaxy_collision.py", "400")
+        assert "energy drift" in out
+        assert "octree-vs-bvh position gap" in out
+
+    def test_solar_system(self):
+        out = run_example("solar_system.py", "400")
+        assert out.count("[OK]") == 3
+        assert "belt intact" in out
+
+    def test_progress_semantics(self):
+        out = run_example("progress_semantics.py")
+        assert "LIVELOCK" in out
+        assert "completed" in out
+        assert "VectorizationUnsafeError" in out
+
+    def test_accuracy_study(self):
+        out = run_example("accuracy_study.py", "300")
+        assert "theta sweep" in out
+        assert "octree" in out and "bvh" in out
+
+    def test_device_projection(self):
+        out = run_example("device_projection.py", "2000")
+        assert "NV GH200-480" in out
+        assert "n/a" in out  # octree on AMD GPUs
+
+    def test_quadtree_figure1(self):
+        out = run_example("quadtree_figure1.py")
+        assert "memory layout" in out
+        assert "B0 (body)" in out or "(body)" in out
+        assert "E (empty)" in out
+
+    def test_checkpoint_restart(self):
+        out = run_example("checkpoint_restart.py")
+        assert "restart is exact." in out
+
+    def test_tsne_visualization(self):
+        out = run_example("tsne_visualization.py", "25", timeout=300)
+        assert "cluster separation" in out
+        assert "quadtree repulsion" in out

@@ -1,0 +1,156 @@
+"""Tests for AABB and the CALCULATEBOUNDINGBOX reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry.aabb import AABB, compute_bounding_box, cubify, quantize_to_grid
+
+
+class TestAABB:
+    def test_from_points_contains_all(self, rng):
+        x = rng.standard_normal((100, 3))
+        box = AABB.from_points(x)
+        assert box.contains(x).all()
+
+    def test_from_points_is_tight(self, rng):
+        x = rng.random((50, 3))
+        box = AABB.from_points(x)
+        assert np.allclose(box.lo, x.min(axis=0))
+        assert np.allclose(box.hi, x.max(axis=0))
+
+    def test_empty_box(self):
+        box = AABB.empty(3)
+        assert box.is_empty
+        assert box.longest_side == 0.0
+
+    def test_empty_is_merge_identity(self, rng):
+        x = rng.random((10, 2))
+        box = AABB.from_points(x)
+        assert box.merge(AABB.empty(2)) == box
+        assert AABB.empty(2).merge(box) == box
+
+    def test_merge_commutative(self, rng):
+        a = AABB.from_points(rng.random((5, 3)))
+        b = AABB.from_points(rng.random((5, 3)) + 2.0)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_covers_both(self, rng):
+        xa = rng.random((5, 3))
+        xb = rng.random((5, 3)) + 3.0
+        merged = AABB.from_points(xa).merge(AABB.from_points(xb))
+        assert merged.contains(np.vstack((xa, xb))).all()
+
+    def test_extent_and_center(self):
+        box = AABB([0.0, 0.0], [2.0, 4.0])
+        assert np.allclose(box.extent, [2.0, 4.0])
+        assert np.allclose(box.center, [1.0, 2.0])
+        assert box.longest_side == 4.0
+
+    def test_single_point_box(self):
+        box = AABB.from_points(np.array([[1.0, 2.0, 3.0]]))
+        assert not box.is_empty
+        assert box.longest_side == 0.0
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            AABB([0.0, 0.0], [1.0, 1.0, 1.0])
+
+    def test_expanded_strictly_contains(self, rng):
+        x = rng.random((20, 3))
+        box = AABB.from_points(x).expanded()
+        assert (x > box.lo).all() and (x < box.hi).all()
+
+    def test_hash_and_eq(self):
+        a = AABB([0.0], [1.0])
+        b = AABB([0.0], [1.0])
+        assert a == b and hash(a) == hash(b)
+        assert a != AABB([0.0], [2.0])
+
+
+class TestComputeBoundingBox:
+    def test_matches_brute_force(self, rng):
+        x = rng.standard_normal((333, 3)) * 5
+        box = compute_bounding_box(x)
+        assert np.array_equal(box.lo, x.min(axis=0))
+        assert np.array_equal(box.hi, x.max(axis=0))
+
+    def test_empty_input(self):
+        box = compute_bounding_box(np.zeros((0, 3)))
+        assert box.is_empty
+
+    @given(
+        st.integers(1, 60).flatmap(
+            lambda n: st.sampled_from([2, 3]).flatmap(
+                lambda d: hnp.arrays(
+                    np.float64, (n, d), elements=st.floats(-1e6, 1e6)
+                )
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_equals_sequential_fold(self, x):
+        """The parallel reduction (min/max) equals any-order folding."""
+        box = compute_bounding_box(x)
+        acc = AABB.empty(x.shape[1])
+        for row in x:
+            acc = acc.merge(AABB(row, row))
+        assert box == acc
+
+
+class TestCubify:
+    def test_cube_has_equal_sides(self, rng):
+        box = AABB.from_points(rng.random((10, 3)) * [1.0, 5.0, 2.0])
+        cube = cubify(box)
+        assert np.allclose(cube.extent, cube.extent[0])
+
+    def test_cube_contains_original(self, rng):
+        x = rng.random((10, 3)) * [1.0, 5.0, 2.0]
+        cube = cubify(AABB.from_points(x))
+        assert cube.contains(x).all()
+
+    def test_cube_of_empty_is_empty(self):
+        assert cubify(AABB.empty(3)).is_empty
+
+    def test_cube_preserves_center(self, rng):
+        box = AABB.from_points(rng.random((10, 2)))
+        assert np.allclose(cubify(box).center, box.center)
+
+
+class TestQuantizeToGrid:
+    def test_in_range(self, rng):
+        x = rng.standard_normal((500, 3))
+        box = compute_bounding_box(x)
+        g = quantize_to_grid(x, box, bits=10)
+        assert g.dtype == np.uint64
+        assert (g < (1 << 10)).all()
+
+    def test_boundary_points_clamped(self):
+        x = np.array([[0.0, 0.0], [1.0, 1.0]])
+        g = quantize_to_grid(x, compute_bounding_box(x), bits=4)
+        assert (g < 16).all()
+
+    def test_monotone_along_axis(self):
+        x = np.stack((np.linspace(0, 1, 64), np.zeros(64)), axis=1)
+        g = quantize_to_grid(x, compute_bounding_box(x), bits=6)
+        assert (np.diff(g[:, 0].astype(np.int64)) >= 0).all()
+
+    def test_identical_points_same_cell(self):
+        x = np.ones((5, 3)) * 0.37
+        x = np.vstack((x, [[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]]))
+        g = quantize_to_grid(x, compute_bounding_box(x), bits=8)
+        assert (g[:5] == g[0]).all()
+
+    def test_invalid_bits(self, rng):
+        x = rng.random((4, 3))
+        with pytest.raises(ValueError):
+            quantize_to_grid(x, compute_bounding_box(x), bits=0)
+
+    def test_degenerate_box(self):
+        """All points coincide: everything maps to a single valid cell."""
+        x = np.full((7, 3), 0.5)
+        g = quantize_to_grid(x, compute_bounding_box(x), bits=5)
+        assert (g == g[0]).all()
+        assert (g < 32).all()

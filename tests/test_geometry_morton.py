@@ -1,0 +1,101 @@
+"""Tests for Morton encoding/decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.morton import (
+    MAX_BITS_2D,
+    MAX_BITS_3D,
+    morton_child_digits,
+    morton_decode,
+    morton_encode,
+)
+
+
+def _grid(rng, n, dim, bits):
+    return rng.integers(0, 1 << bits, size=(n, dim)).astype(np.uint64)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("dim,bits", [(2, 1), (2, 8), (2, 31), (3, 1), (3, 10), (3, 21)])
+    def test_roundtrip(self, rng, dim, bits):
+        g = _grid(rng, 500, dim, bits)
+        assert np.array_equal(morton_decode(morton_encode(g, bits), bits, dim), g)
+
+    @given(st.integers(0, 2**21 - 1), st.integers(0, 2**21 - 1), st.integers(0, 2**21 - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip_3d_property(self, x, y, z):
+        g = np.array([[x, y, z]], dtype=np.uint64)
+        assert np.array_equal(morton_decode(morton_encode(g, 21), 21, 3), g)
+
+
+class TestOrdering:
+    def test_x_is_least_significant(self):
+        """Axis 0 occupies the LSB of each digit group (Fig. 1 order)."""
+        assert morton_encode(np.array([[1, 0, 0]], dtype=np.uint64), 1)[0] == 1
+        assert morton_encode(np.array([[0, 1, 0]], dtype=np.uint64), 1)[0] == 2
+        assert morton_encode(np.array([[0, 0, 1]], dtype=np.uint64), 1)[0] == 4
+
+    def test_bijective_small_grid(self):
+        """Every cell of a full 3-bit 3D grid has a unique code."""
+        axes = np.arange(8, dtype=np.uint64)
+        g = np.array(np.meshgrid(axes, axes, axes)).reshape(3, -1).T.astype(np.uint64)
+        codes = morton_encode(np.ascontiguousarray(g), 3)
+        assert len(np.unique(codes)) == 512
+        assert codes.max() == 511
+
+    def test_prefix_property(self, rng):
+        """Truncating a code by one level = code of the half-res cell."""
+        bits = 10
+        g = _grid(rng, 200, 3, bits)
+        full = morton_encode(g, bits)
+        coarse = morton_encode(g >> np.uint64(1), bits - 1)
+        assert np.array_equal(full >> np.uint64(3), coarse)
+
+
+class TestValidation:
+    def test_out_of_range_coordinate(self):
+        g = np.array([[1 << 5, 0]], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            morton_encode(g, 5)
+
+    @pytest.mark.parametrize("bits", [0, 22])
+    def test_bad_bits_3d(self, bits, rng):
+        with pytest.raises(ValueError):
+            morton_encode(_grid(rng, 4, 3, 1), bits)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.zeros((4, 5), dtype=np.uint64), 4)
+
+    def test_decode_requires_1d(self):
+        with pytest.raises(ValueError):
+            morton_decode(np.zeros((2, 2), dtype=np.uint64), 4, 2)
+
+
+class TestChildDigits:
+    def test_digits_reconstruct_code(self, rng):
+        bits, dim = 7, 3
+        g = _grid(rng, 100, dim, bits)
+        codes = morton_encode(g, bits)
+        digits = morton_child_digits(codes, bits, dim)
+        rebuilt = np.zeros_like(codes)
+        for level in range(bits):
+            rebuilt |= digits[:, level].astype(np.uint64) << np.uint64(
+                dim * (bits - 1 - level)
+            )
+        assert np.array_equal(rebuilt, codes)
+
+    def test_digit_range(self, rng):
+        digits = morton_child_digits(morton_encode(_grid(rng, 50, 2, 6), 6), 6, 2)
+        assert digits.min() >= 0 and digits.max() < 4
+
+    def test_first_digit_is_root_quadrant(self):
+        """The level-0 digit picks the child of the root."""
+        bits = 4
+        g = np.array([[0, 0, 0], [15, 15, 15]], dtype=np.uint64)
+        d = morton_child_digits(morton_encode(g, bits), bits, 3)
+        assert d[0, 0] == 0
+        assert d[1, 0] == 7

@@ -1,0 +1,98 @@
+"""Tests for snapshot I/O and the trajectory recorder."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.core.trace import TrajectoryRecorder
+from repro.io import load_snapshot, save_snapshot
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+PARAMS = GravityParams(softening=0.05)
+
+
+class TestSnapshots:
+    def test_roundtrip_exact(self, tmp_path, small_cloud):
+        p = tmp_path / "snap.npz"
+        save_snapshot(p, small_cloud, time=1.25, metadata={"seed": 7})
+        loaded, header = load_snapshot(p)
+        assert np.array_equal(loaded.x, small_cloud.x)
+        assert np.array_equal(loaded.v, small_cloud.v)
+        assert np.array_equal(loaded.m, small_cloud.m)
+        assert header["time"] == 1.25
+        assert header["metadata"] == {"seed": 7}
+        assert header["n"] == small_cloud.n
+
+    def test_loaded_system_is_independent(self, tmp_path, small_cloud):
+        p = tmp_path / "snap.npz"
+        save_snapshot(p, small_cloud)
+        loaded, _ = load_snapshot(p)
+        loaded.x += 1.0
+        assert not np.allclose(loaded.x, small_cloud.x)
+
+    def test_resume_simulation_from_snapshot(self, tmp_path):
+        """A checkpointed run continues bit-identically."""
+        cfg = SimulationConfig(algorithm="bvh", dt=1e-3, gravity=PARAMS)
+        a = galaxy_collision(150, seed=0)
+        sim_a = Simulation(a, cfg)
+        sim_a.run(3)
+        p = tmp_path / "ckpt.npz"
+        save_snapshot(p, a, time=sim_a.time)
+        sim_a.run(3)
+
+        b, header = load_snapshot(p)
+        sim_b = Simulation(b, cfg)
+        sim_b.run(3)
+        assert np.allclose(a.x, b.x, atol=1e-15)
+
+    def test_version_check(self, tmp_path, small_cloud):
+        import json
+
+        p = tmp_path / "bad.npz"
+        header = {"format_version": 99, "n": 1, "dim": 3, "time": 0, "metadata": {}}
+        np.savez(p, x=small_cloud.x, v=small_cloud.v, m=small_cloud.m,
+                 header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            load_snapshot(p)
+
+
+class TestTrajectoryRecorder:
+    def make(self, **kw):
+        s = galaxy_collision(150, seed=1)
+        sim = Simulation(s, SimulationConfig(algorithm="octree", theta=0.3,
+                                             dt=1e-3, gravity=PARAMS))
+        return TrajectoryRecorder(sim, **kw)
+
+    def test_samples_at_cadence(self):
+        rec = self.make(sample_every=5)
+        trace = rec.run(20)
+        assert len(trace) == 5  # initial + 4 chunks
+        assert trace.samples[0].time == 0.0
+        assert trace.samples[-1].step == 20
+
+    def test_energy_drift_small(self):
+        rec = self.make(sample_every=4)
+        trace = rec.run(16)
+        assert trace.max_energy_drift() < 1e-4
+
+    def test_momentum_drift_small(self):
+        rec = self.make(sample_every=4)
+        trace = rec.run(16)
+        assert trace.max_momentum_drift() < 1e-5
+
+    def test_without_potential(self):
+        rec = self.make(sample_every=2, compute_potential=False)
+        trace = rec.run(4)
+        assert all(s.total_energy is None for s in trace.samples)
+        assert np.isnan(trace.max_energy_drift())
+
+    def test_partial_chunk(self):
+        rec = self.make(sample_every=4)
+        trace = rec.run(6)  # 4 + 2
+        assert [s.step for s in trace.samples] == [0, 4, 6]
+
+    def test_invalid_cadence(self):
+        with pytest.raises(ValueError):
+            self.make(sample_every=0)

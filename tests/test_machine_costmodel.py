@@ -1,0 +1,143 @@
+"""Tests for the roofline cost model."""
+
+import pytest
+
+from repro.machine.catalog import get_device
+from repro.machine.costmodel import CostModel, predict_time
+from repro.machine.counters import Counters, StepCounters
+
+
+def steps_with(**kw) -> StepCounters:
+    s = StepCounters()
+    s.step("main").add(**kw)
+    return s
+
+
+class TestRoofline:
+    def test_memory_bound_matches_bandwidth(self):
+        d = get_device("h100")
+        gb = 10.0
+        s = steps_with(bytes_read=gb * 1e9)
+        t = predict_time(d, s)
+        assert t == pytest.approx(gb / d.measured_bw_gbs, rel=0.01)
+
+    def test_compute_bound_scales_with_peak(self):
+        a, b = get_device("h100"), get_device("v100")
+        s = steps_with(flops=1e12)
+        ratio = predict_time(b, s) / predict_time(a, s)
+        assert ratio == pytest.approx(a.peak_fp64_gflops / b.peak_fp64_gflops, rel=0.05)
+
+    def test_compute_and_memory_overlap(self):
+        """max(), not sum: the roofline."""
+        d = get_device("genoa")
+        t_c = predict_time(d, steps_with(flops=1e12))
+        t_m = predict_time(d, steps_with(bytes_read=1e10))
+        t_both = predict_time(d, steps_with(flops=1e12, bytes_read=1e10))
+        assert t_both == pytest.approx(max(t_c, t_m), rel=1e-6)
+
+    def test_special_flops_slower(self):
+        d = get_device("h100")
+        t_reg = predict_time(d, steps_with(flops=1e10))
+        t_sp = predict_time(d, steps_with(flops=1e10, special_flops=1e10))
+        assert t_sp > 2 * t_reg
+
+    def test_irregular_bytes_use_cache_bandwidth(self):
+        """Tree traffic is charged at irregular_bw_fraction x streaming."""
+        d = get_device("genoa")  # fraction 4.0: cache-resident is faster
+        t_stream = predict_time(d, steps_with(bytes_read=1e9))
+        t_irr = predict_time(
+            d, steps_with(bytes_read=1e9, bytes_irregular=1e9)
+        )
+        assert t_irr == pytest.approx(t_stream / d.irregular_bw_fraction, rel=0.01)
+
+
+class TestAtomics:
+    def test_sync_atomics_cost_more_than_relaxed(self):
+        d = get_device("h100")
+        relaxed = steps_with(atomic_ops=1e6)
+        sync = steps_with(atomic_ops=1e6, sync_atomic_ops=1e6)
+        assert predict_time(d, sync) > predict_time(d, relaxed)
+
+    def test_contended_serializes(self):
+        d = get_device("a100")
+        s = steps_with(atomic_ops=1e4, sync_atomic_ops=1e4, contended_atomic_ops=1e4)
+        t = predict_time(d, s)
+        assert t >= 1e4 * d.atomic_cas_ns * 1e-9  # at least the serial chain
+
+    def test_nvidia_relaxed_atomics_cheap(self):
+        """Fire-and-forget FP64 reductions (why All-Pairs-Col wins on
+        NVIDIA) vs CAS-loop emulation on AMD GPUs."""
+        s = steps_with(atomic_ops=1e9)
+        assert predict_time(get_device("h100"), s) < predict_time(
+            get_device("mi300x"), s
+        )
+
+    def test_a100_sync_penalty(self):
+        """Partitioned-L2 Ampere pays more for the same sync atomics."""
+        s = steps_with(atomic_ops=1e7, sync_atomic_ops=1e7)
+        assert predict_time(get_device("a100"), s) > 2 * predict_time(
+            get_device("h100"), s
+        )
+
+
+class TestSequential:
+    def test_sequential_slower_than_parallel(self):
+        d = get_device("genoa")
+        s = steps_with(flops=1e11, bytes_read=1e9)
+        assert predict_time(d, s, sequential=True) > 5 * predict_time(d, s)
+
+    def test_sequential_has_no_launch_overhead(self):
+        d = get_device("h100")
+        s = steps_with(kernel_launches=1000.0)
+        assert predict_time(d, s, sequential=True) == 0.0
+        assert predict_time(d, s) > 0.0
+
+    def test_sequential_atomics_are_plain_rmw(self):
+        d = get_device("genoa")
+        s = steps_with(atomic_ops=1e6, sync_atomic_ops=1e6, contended_atomic_ops=1e6)
+        t = predict_time(d, s, sequential=True)
+        assert t == pytest.approx(1e6 * d.atomic_add_ns * 1e-9, rel=0.01)
+
+
+class TestDivergence:
+    def test_divergence_inflates_gpu_time(self):
+        d = get_device("h100")
+        base = dict(bytes_irregular=1e9, bytes_read=1e9, traversal_steps=1e6)
+        no_div = steps_with(**base, warp_traversal_steps=1e6)
+        div = steps_with(**base, warp_traversal_steps=3e6)
+        assert predict_time(d, div) == pytest.approx(3 * predict_time(d, no_div), rel=0.01)
+
+    def test_divergence_ignored_on_cpu(self):
+        d = get_device("genoa")
+        base = dict(bytes_irregular=1e9, bytes_read=1e9, traversal_steps=1e6)
+        no_div = steps_with(**base, warp_traversal_steps=1e6)
+        div = steps_with(**base, warp_traversal_steps=3e6)
+        assert predict_time(d, div) == predict_time(d, no_div)
+
+
+class TestToolchainProfiles:
+    def test_sort_efficiency_changes_sort_time(self):
+        d = get_device("gh200")
+        s = steps_with(sort_comparisons=1e8)
+        t_nv = predict_time(d, s, toolchain="nvcpp")
+        t_acpp = predict_time(d, s, toolchain="acpp")
+        assert t_acpp > t_nv  # acpp sort_efficiency < 1
+
+    def test_toolchain_spread_is_small_on_full_pipeline(self):
+        """Fig. 9: largest difference ~1.25x; a mixed pipeline should
+        not diverge wildly across toolchains."""
+        d = get_device("gh200")
+        s = steps_with(flops=1e10, bytes_read=1e9, bytes_irregular=5e8,
+                       sort_comparisons=1e7, kernel_launches=10)
+        t_nv = predict_time(d, s, toolchain="nvcpp")
+        t_acpp = predict_time(d, s, toolchain="acpp")
+        assert max(t_nv, t_acpp) / min(t_nv, t_acpp) < 1.3
+
+    def test_step_times_by_name(self):
+        d = get_device("h100")
+        s = StepCounters()
+        s.step("force").add(flops=1e10)
+        s.step("sort").add(sort_comparisons=1e7)
+        times = CostModel(d).step_times(s)
+        assert set(times) == {"force", "sort"}
+        assert all(t > 0 for t in times.values())

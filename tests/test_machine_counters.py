@@ -1,0 +1,73 @@
+"""Tests for the operation-counter infrastructure."""
+
+import pytest
+
+from repro.machine.counters import Counters, StepCounters
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        c = Counters()
+        c.add(flops=10, bytes_read=5)
+        c.add(flops=2)
+        assert c.flops == 12 and c.bytes_read == 5
+
+    def test_addition_operator(self):
+        a = Counters(flops=1, atomic_ops=2)
+        b = Counters(flops=3, bytes_written=4)
+        s = a + b
+        assert s.flops == 4 and s.atomic_ops == 2 and s.bytes_written == 4
+
+    def test_addition_keeps_max_fields(self):
+        a = Counters(traversal_steps_max=10)
+        b = Counters(traversal_steps_max=3)
+        assert (a + b).traversal_steps_max == 10
+
+    def test_add_max_field_via_add(self):
+        c = Counters()
+        c.add(traversal_steps_max=5)
+        c.add(traversal_steps_max=2)
+        assert c.traversal_steps_max == 5
+
+    def test_scaled(self):
+        c = Counters(flops=10, traversal_steps_max=7)
+        s = c.scaled(0.5)
+        assert s.flops == 5
+        assert s.traversal_steps_max == 7  # max-like fields not scaled
+
+    def test_bytes_total(self):
+        assert Counters(bytes_read=3, bytes_written=4).bytes_total == 7
+
+    def test_as_dict_roundtrip(self):
+        c = Counters(flops=1, sync_atomic_ops=2)
+        d = c.as_dict()
+        assert d["flops"] == 1 and d["sync_atomic_ops"] == 2
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            Counters() + 5
+
+
+class TestStepCounters:
+    def test_step_creates_on_demand(self):
+        s = StepCounters()
+        s.step("force").add(flops=5)
+        assert s.steps["force"].flops == 5
+
+    def test_total(self):
+        s = StepCounters()
+        s.step("a").add(flops=1)
+        s.step("b").add(flops=2, atomic_ops=3)
+        t = s.total()
+        assert t.flops == 3 and t.atomic_ops == 3
+
+    def test_merge(self):
+        a = StepCounters()
+        a.step("x").add(flops=1)
+        b = StepCounters()
+        b.step("x").add(flops=2)
+        b.step("y").add(flops=5)
+        m = a.merge(b)
+        assert m.steps["x"].flops == 3 and m.steps["y"].flops == 5
+        # originals untouched
+        assert a.steps["x"].flops == 1

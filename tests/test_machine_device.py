@@ -1,0 +1,122 @@
+"""Tests for the device model and the Table I catalog."""
+
+import pytest
+
+from repro.machine.catalog import DEVICES, HOST, get_device, list_devices
+from repro.machine.device import Device, DeviceKind
+from repro.stdpar.progress import ForwardProgress
+
+#: Table I rows: (key, theoretical, measured) bandwidths.
+TABLE_I = [
+    ("mi100", 1200, 1013),
+    ("mi250", 1600, 1375),
+    ("mi300x", 5300, 4006),
+    ("genoa", 460, 287),
+    ("graviton4", 530, 413),
+    ("pvc1550", 3276, 2054),
+    ("spr", 307, 197),
+    ("grace", 500, 448),
+    ("v100", 900, 845),
+    ("a100", 2000, 1768),
+    ("h100", 3300, 3073),
+    ("gh200", 4000, 3683),
+]
+
+
+class TestCatalog:
+    def test_all_table1_rows_present(self):
+        for key, th, exp in TABLE_I:
+            d = get_device(key)
+            assert d.theoretical_bw_gbs == th
+            assert d.measured_bw_gbs == exp
+
+    def test_lookup_by_name(self):
+        assert get_device("NV H100-80").key == "h100"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("tpu-v9")
+
+    def test_list_devices_excludes_host(self):
+        assert all(d.key != "host" for d in list_devices())
+
+    def test_list_devices_by_kind(self):
+        cpus = list_devices(DeviceKind.CPU)
+        gpus = list_devices(DeviceKind.GPU)
+        assert {d.key for d in cpus} == {"genoa", "graviton4", "spr", "grace"}
+        # Table I's 8 GPU rows plus the PVC 1-tile configuration (the
+        # paper reports "the best result of either one or two tiles").
+        assert len(gpus) == 9
+        assert len(cpus) + len(gpus) == len(TABLE_I) + 1
+
+    def test_host_present(self):
+        assert DEVICES["host"] is HOST
+
+
+class TestProgressSemantics:
+    def test_cpus_concurrent(self):
+        for d in list_devices(DeviceKind.CPU):
+            assert d.progress == ForwardProgress.CONCURRENT
+            assert not d.has_its  # ITS is a GPU notion
+
+    def test_nvidia_gpus_have_its(self):
+        """All NVIDIA architectures since Volta provide ITS [10], [11]."""
+        for key in ("v100", "a100", "h100", "gh200"):
+            d = get_device(key)
+            assert d.has_its
+            assert d.progress == ForwardProgress.PARALLEL
+
+    def test_amd_intel_gpus_lack_its(self):
+        """Refs [24], [25]: only weakly parallel forward progress."""
+        for key in ("mi100", "mi250", "mi300x", "pvc1550"):
+            d = get_device(key)
+            assert not d.has_its
+            assert d.progress == ForwardProgress.WEAKLY_PARALLEL
+
+    def test_ampere_partitioned_l2(self):
+        assert get_device("a100").l2_partitioned
+        assert not get_device("h100").l2_partitioned
+
+    def test_pvc_numa_configurations(self):
+        """Section V-B GPU NUMA effects: two PVC configurations, the
+        2-tile one carrying the cross-tile traversal penalty."""
+        two = get_device("pvc1550")
+        one = get_device("pvc1550-1t")
+        assert two.numa_threshold_bytes is not None and two.numa_penalty > 1
+        assert one.numa_threshold_bytes is None
+        assert two.measured_bw_gbs > one.measured_bw_gbs
+
+    def test_a100_sync_atomics_slower_than_hopper(self):
+        """The paper's explanation of the Fig. 6/7 inversion."""
+        assert get_device("a100").atomic_cas_ns > 2 * get_device("h100").atomic_cas_ns
+
+
+class TestToolchains:
+    def test_each_device_has_two_toolchains(self):
+        """Section V-A: 'Each experiment is conducted using two
+        toolchains per system' (Grace lists extras)."""
+        for key, *_ in TABLE_I:
+            assert len(get_device(key).toolchains) >= 2
+
+    def test_profile_lookup(self):
+        d = get_device("gh200")
+        p = d.toolchain_profile("acpp")
+        assert p.name == "acpp"
+        assert 0 < p.sort_efficiency <= 1
+
+    def test_unknown_toolchain(self):
+        with pytest.raises(KeyError):
+            get_device("h100").toolchain_profile("msvc")
+
+    def test_default_toolchain_is_first(self):
+        d = get_device("genoa")
+        assert d.default_toolchain == d.toolchains[0]
+
+    def test_measured_below_theoretical(self):
+        for key, *_ in TABLE_I:
+            d = get_device(key)
+            assert d.measured_bw_gbs < d.theoretical_bw_gbs
+
+    def test_peak_seq_gflops(self):
+        d = get_device("genoa")
+        assert d.peak_seq_gflops == pytest.approx(d.peak_fp64_gflops / d.cores)

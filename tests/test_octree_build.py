@@ -1,0 +1,174 @@
+"""Tests for octree construction: vectorized, concurrent, and their
+equivalence (the central structural claim: the tree is insertion-order
+independent, so both builders produce the same structure)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ForwardProgressError, LivelockDetected
+from repro.machine.catalog import get_device
+from repro.octree.build_concurrent import build_octree_concurrent
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.layout import EMPTY, decode_body
+from repro.octree.traversal import canonical_structure, validate_tree
+from repro.stdpar.context import ExecutionContext
+
+
+class TestVectorizedBuild:
+    def test_invariants_random_cloud(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=10)
+        validate_tree(pool, small_cloud.n)
+
+    def test_each_leaf_at_most_one_body(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=10)
+        for leaf in pool.leaf_nodes():
+            assert len(pool.leaf_bodies(int(leaf))) <= 1
+
+    def test_empty_input(self):
+        pool = build_octree_vectorized(np.zeros((0, 3)))
+        assert pool.n_nodes == 1
+        assert pool.child[0] == EMPTY
+
+    def test_single_body_root_leaf(self):
+        pool = build_octree_vectorized(np.array([[0.5, 0.5, 0.5]]))
+        assert pool.n_nodes == 1
+        assert decode_body(int(pool.child[0])) == 0
+
+    def test_two_bodies_subdivide(self):
+        x = np.array([[0.1, 0.1, 0.1], [0.9, 0.9, 0.9]])
+        pool = build_octree_vectorized(x, bits=4)
+        assert pool.n_nodes == 9  # root + one sibling group
+        assert pool.child[0] == 1
+        validate_tree(pool, 2)
+
+    def test_close_pair_creates_chain(self):
+        """Two bodies close relative to the root cube force subdivision
+        down through a chain of single-occupancy levels."""
+        x = np.array(
+            [[0.25, 0.25, 0.25], [0.25 + 2**-7, 0.25, 0.25], [0.9, 0.9, 0.9]]
+        )
+        pool = build_octree_vectorized(x, bits=12)
+        validate_tree(pool, 3)
+        assert pool.n_nodes > 17  # deeper than two splits
+        assert pool.depth[: pool.n_nodes].max() >= 5
+
+    def test_identical_points_bucket(self):
+        """Bodies sharing the deepest cell chain into a bucket leaf."""
+        x = np.vstack([np.full((3, 3), 0.25), [[0.9, 0.9, 0.9]]])
+        pool = build_octree_vectorized(x, bits=4)
+        validate_tree(pool, 4)
+        buckets = [
+            leaf for leaf in pool.leaf_nodes()
+            if len(pool.leaf_bodies(int(leaf))) > 1
+        ]
+        assert len(buckets) == 1
+        assert sorted(pool.leaf_bodies(buckets[0])) == [0, 1, 2]
+
+    def test_2d_quadtree(self, cloud_2d):
+        pool = build_octree_vectorized(cloud_2d.x, bits=10)
+        assert pool.nchild == 4
+        validate_tree(pool, cloud_2d.n)
+
+    def test_counts_match_subtree_sizes(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=10)
+        # count[node] as set by the builder equals bodies under node
+        internal = pool.internal_nodes()
+        for node in internal[:20]:
+            first = pool.child[node]
+            assert pool.count[node] == pool.count[first : first + 8].sum()
+
+    def test_build_deterministic(self, small_cloud):
+        a = build_octree_vectorized(small_cloud.x, bits=10)
+        b = build_octree_vectorized(small_cloud.x, bits=10)
+        assert np.array_equal(a.child[: a.n_nodes], b.child[: b.n_nodes])
+
+    def test_counter_accounting(self, small_cloud, ctx):
+        build_octree_vectorized(small_cloud.x, bits=10, ctx=ctx)
+        c = ctx.counters
+        assert c.atomic_ops > small_cloud.n      # descent loads + CAS
+        assert c.sync_atomic_ops >= 2 * small_cloud.n
+        assert c.loop_iterations == small_cloud.n
+
+
+class TestConcurrentBuild:
+    def test_matches_vectorized(self, small_cloud):
+        pv = build_octree_vectorized(small_cloud.x, bits=8)
+        pc = build_octree_concurrent(small_cloud.x, bits=8)
+        assert canonical_structure(pv) == canonical_structure(pc)
+
+    def test_validates(self, small_cloud):
+        pc = build_octree_concurrent(small_cloud.x, bits=8)
+        validate_tree(pc, small_cloud.n)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_schedule_independence(self, seed):
+        """Property: ANY fair interleaving produces the same tree."""
+        rng = np.random.default_rng(7)
+        x = rng.random((40, 3))
+        ref = canonical_structure(build_octree_vectorized(x, bits=6))
+        ctx = ExecutionContext(backend="reference", scheduler_shuffle_seed=seed)
+        pool = build_octree_concurrent(x, bits=6, ctx=ctx)
+        assert canonical_structure(pool) == ref
+
+    def test_bucket_chain_concurrent(self):
+        x = np.vstack([np.full((3, 3), 0.25), [[0.9, 0.9, 0.9]]])
+        pool = build_octree_concurrent(x, bits=3)
+        validate_tree(pool, 4)
+
+    def test_pool_exhaustion_retries(self):
+        """An undersized pool is doubled transparently."""
+        rng = np.random.default_rng(0)
+        x = rng.random((64, 3))
+        pool = build_octree_concurrent(x, bits=8, capacity=80)
+        validate_tree(pool, 64)
+
+    def test_strict_raise_on_non_its_gpu(self):
+        ctx = ExecutionContext(device=get_device("mi300x"), backend="reference")
+        with pytest.raises(ForwardProgressError):
+            build_octree_concurrent(np.random.default_rng(0).random((16, 3)), ctx=ctx)
+
+    def test_livelock_on_non_its_gpu_simulation(self):
+        """Paper Section V-B: running the octree build without ITS
+        'reliably caused them to hang'."""
+        ctx = ExecutionContext(
+            device=get_device("mi300x"), backend="reference",
+            on_progress_violation="simulate", warp_width=16,
+        )
+        with pytest.raises(LivelockDetected):
+            build_octree_concurrent(
+                np.random.default_rng(1).random((64, 3)), bits=8, ctx=ctx
+            )
+
+    def test_completes_on_its_gpu(self):
+        """Volta+ ITS provides parallel forward progress: build works."""
+        ctx = ExecutionContext(device=get_device("h100"), backend="reference")
+        x = np.random.default_rng(1).random((64, 3))
+        pool = build_octree_concurrent(x, bits=8, ctx=ctx)
+        validate_tree(pool, 64)
+
+    def test_empty(self):
+        pool = build_octree_concurrent(np.zeros((0, 3)))
+        assert pool.n_nodes == 1
+
+
+class TestEquivalenceProperty:
+    @given(
+        st.integers(1, 120),
+        st.integers(0, 2**32 - 1),
+        st.sampled_from([2, 3]),
+        st.integers(3, 8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_builders_agree(self, n, seed, dim, bits):
+        """The headline structural property over random inputs, sizes,
+        dimensions and depth limits."""
+        rng = np.random.default_rng(seed)
+        x = rng.random((n, dim))
+        pv = build_octree_vectorized(x, bits=bits)
+        pc = build_octree_concurrent(x, bits=bits)
+        validate_tree(pv, n)
+        validate_tree(pc, n)
+        assert canonical_structure(pv) == canonical_structure(pc)

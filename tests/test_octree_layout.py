@@ -1,0 +1,127 @@
+"""Tests for the octree node-pool layout and bump allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocatorExhausted
+from repro.geometry.aabb import AABB
+from repro.octree.layout import (
+    EMPTY,
+    LOCKED,
+    OctreePool,
+    decode_body,
+    encode_body,
+    is_body_token,
+)
+
+
+def make_pool(dim=3, capacity=1000, n_bodies=10, bits=8):
+    return OctreePool(
+        dim=dim, bits=bits,
+        box=AABB(np.zeros(dim), np.ones(dim)),
+        capacity=capacity, n_bodies=n_bodies,
+    )
+
+
+class TestTokens:
+    def test_encode_decode_roundtrip(self):
+        for b in (0, 1, 17, 10**6):
+            assert decode_body(encode_body(b)) == b
+
+    def test_tokens_distinct(self):
+        assert encode_body(0) not in (EMPTY, LOCKED)
+        assert EMPTY != LOCKED
+
+    def test_is_body_token(self):
+        assert is_body_token(encode_body(0))
+        assert not is_body_token(EMPTY)
+        assert not is_body_token(LOCKED)
+        assert not is_body_token(5)  # child offsets are not body tokens
+
+    def test_is_body_token_vectorized(self):
+        arr = np.array([EMPTY, LOCKED, encode_body(3), 7])
+        assert is_body_token(arr).tolist() == [False, False, True, False]
+
+
+class TestPool:
+    def test_initial_state(self):
+        pool = make_pool()
+        assert pool.n_nodes == 1          # root pre-allocated
+        assert pool.child[0] == EMPTY
+        assert pool.depth[0] == 0
+
+    def test_root_box_is_cube(self):
+        pool = OctreePool(
+            dim=3, bits=4,
+            box=AABB(np.zeros(3), np.array([1.0, 2.0, 4.0])),
+            capacity=100, n_bodies=1,
+        )
+        assert np.allclose(pool.box.extent, 4.0)
+
+    def test_nchild(self):
+        assert make_pool(dim=3).nchild == 8
+        assert make_pool(dim=2).nchild == 4
+
+    def test_node_side_halves_per_level(self):
+        pool = make_pool()
+        s0 = pool.node_side(0)
+        assert pool.node_side(1) == pytest.approx(s0 / 2)
+        assert pool.node_side(3) == pytest.approx(s0 / 8)
+
+    def test_allocate_groups_contiguous(self):
+        pool = make_pool()
+        a = pool.allocate_groups(1, parents=np.array([0]))
+        b = pool.allocate_groups(2, parents=np.array([a, a + 1]))
+        assert a == 1
+        assert b == 1 + pool.nchild
+        assert pool.n_nodes == 1 + 3 * pool.nchild
+
+    def test_parent_of(self):
+        pool = make_pool()
+        first = pool.allocate_groups(1, parents=np.array([0]))
+        for i in range(pool.nchild):
+            assert pool.parent_of(first + i) == 0
+        assert pool.parent_of(0) == -1
+
+    def test_allocator_exhaustion(self):
+        pool = make_pool(capacity=20)
+        with pytest.raises(AllocatorExhausted):
+            pool.allocate_groups(5, parents=np.arange(5))
+
+    def test_node_classification(self):
+        pool = make_pool()
+        first = pool.allocate_groups(1, parents=np.array([0]))
+        pool.child[0] = first
+        pool.child[first] = encode_body(3)
+        assert 0 in pool.internal_nodes()
+        assert first in pool.body_leaves()
+        assert first + 1 in pool.leaf_nodes()
+
+    def test_leaf_bodies_chain(self):
+        pool = make_pool(n_bodies=5)
+        pool.child[0] = encode_body(2)
+        pool.next_body[2] = 4
+        pool.next_body[4] = 1
+        assert pool.leaf_bodies(0) == [2, 4, 1]
+
+    def test_leaf_bodies_empty(self):
+        pool = make_pool()
+        assert pool.leaf_bodies(0) == []
+
+    def test_finalize_com_zero_mass(self):
+        pool = make_pool()
+        pool.finalize_com()
+        assert np.all(pool.com == 0.0)
+
+    def test_capacity_estimate_scales(self):
+        small = OctreePool.estimate_capacity(10, 3, 21)
+        big = OctreePool.estimate_capacity(10_000, 3, 21)
+        assert big > small >= 64
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            make_pool(dim=4)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            make_pool(capacity=0)

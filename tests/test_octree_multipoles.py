@@ -1,0 +1,151 @@
+"""Tests for CALCULATEMULTIPOLES (wait-free tree reduction, Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.multipoles import (
+    compute_multipoles_concurrent,
+    compute_multipoles_vectorized,
+)
+from repro.stdpar.context import ExecutionContext
+
+
+def build_with_moments(x, m, bits=8, concurrent=False, **kw):
+    pool = build_octree_vectorized(x, bits=bits)
+    if concurrent:
+        compute_multipoles_concurrent(pool, x, m, **kw)
+    else:
+        compute_multipoles_vectorized(pool, x, m, **kw)
+    return pool
+
+
+class TestVectorized:
+    def test_root_holds_total_mass(self, small_cloud):
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        assert pool.mass[0] == pytest.approx(small_cloud.m.sum(), rel=1e-12)
+        assert pool.count[0] == small_cloud.n
+
+    def test_root_com_is_global_com(self, small_cloud):
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        expected = (small_cloud.m[:, None] * small_cloud.x).sum(0) / small_cloud.m.sum()
+        assert np.allclose(pool.com[0], expected, rtol=1e-12)
+
+    def test_internal_nodes_sum_children(self, small_cloud):
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        for node in pool.internal_nodes():
+            first = pool.child[node]
+            assert pool.mass[node] == pytest.approx(
+                pool.mass[first : first + 8].sum(), rel=1e-12
+            )
+            assert pool.count[node] == pool.count[first : first + 8].sum()
+
+    def test_mass_conservation_every_level(self, small_cloud):
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        total = small_cloud.m.sum()
+        for d in range(int(pool.depth[: pool.n_nodes].max()) + 1):
+            # mass at depth d of *covering* nodes: leaves above d count too
+            nodes = np.arange(pool.n_nodes)
+            at_d = nodes[pool.depth[nodes] == d]
+            leaves_above = [
+                n for n in pool.leaf_nodes() if pool.depth[n] < d
+            ]
+            level_mass = pool.mass[at_d].sum() + pool.mass[leaves_above].sum()
+            assert level_mass == pytest.approx(total, rel=1e-9)
+
+    def test_single_body_leaf_com_is_exact(self, small_cloud):
+        """Bitwise: the leaf monopole IS the body (ulp round-trip fix)."""
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        for leaf in pool.body_leaves():
+            bodies = pool.leaf_bodies(int(leaf))
+            if len(bodies) == 1:
+                assert np.array_equal(pool.com[leaf], small_cloud.x[bodies[0]])
+
+    def test_empty_leaves_massless(self, small_cloud):
+        pool = build_with_moments(small_cloud.x, small_cloud.m)
+        for leaf in pool.leaf_nodes():
+            if not pool.leaf_bodies(int(leaf)):
+                assert pool.mass[leaf] == 0.0
+                assert pool.count[leaf] == 0
+
+    def test_bucket_leaf_moments(self):
+        x = np.vstack([np.full((3, 3), 0.25), [[0.9, 0.9, 0.9]]])
+        m = np.array([1.0, 2.0, 3.0, 4.0])
+        pool = build_with_moments(x, m, bits=3)
+        bucket = [
+            leaf for leaf in pool.leaf_nodes()
+            if len(pool.leaf_bodies(int(leaf))) > 1
+        ][0]
+        assert pool.mass[bucket] == pytest.approx(6.0)
+        assert pool.count[bucket] == 3
+
+    def test_massless_bodies(self, rng):
+        x = rng.random((20, 3))
+        pool = build_with_moments(x, np.zeros(20))
+        assert pool.mass[0] == 0.0
+        assert np.all(np.isfinite(pool.com))
+
+    def test_single_body_tree(self):
+        x = np.array([[0.3, 0.7, 0.1]])
+        pool = build_with_moments(x, np.array([2.5]))
+        assert pool.mass[0] == 2.5
+        assert np.array_equal(pool.com[0], x[0])
+
+
+class TestConcurrent:
+    def test_matches_vectorized(self, small_cloud):
+        pv = build_with_moments(small_cloud.x, small_cloud.m)
+        pc = build_with_moments(small_cloud.x, small_cloud.m, concurrent=True)
+        n = pv.n_nodes
+        assert np.allclose(pv.mass[:n], pc.mass[:n], rtol=1e-12)
+        assert np.allclose(pv.com[:n], pc.com[:n], rtol=1e-12, atol=1e-15)
+        assert np.array_equal(pv.count[:n], pc.count[:n])
+
+    def test_arrival_counters_complete(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        compute_multipoles_concurrent(pool, small_cloud.x, small_cloud.m)
+        # every internal node saw exactly nchild arrivals
+        internal = pool.internal_nodes()
+        assert np.all(pool.arrivals[internal] == pool.nchild)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_any_schedule_same_result(self, seed):
+        rng = np.random.default_rng(3)
+        x = rng.random((30, 3))
+        m = rng.random(30) + 0.1
+        ref = build_with_moments(x, m, bits=5)
+        ctx = ExecutionContext(backend="reference", scheduler_shuffle_seed=seed)
+        got = build_with_moments(x, m, bits=5, concurrent=True, ctx=ctx)
+        assert np.allclose(ref.mass[: ref.n_nodes], got.mass[: got.n_nodes], rtol=1e-12)
+
+    def test_single_node_tree(self):
+        x = np.array([[0.4, 0.4, 0.4]])
+        pool = build_with_moments(x, np.array([3.0]), concurrent=True)
+        assert pool.mass[0] == 3.0
+
+    def test_wait_free_on_lockstep_scheduler(self):
+        """The Fig. 2 reduction has no critical sections (wait-free):
+        unlike the build it completes even without ITS... though the
+        par policy still forbids offloading it there in C++."""
+        from repro.machine.catalog import get_device
+
+        rng = np.random.default_rng(4)
+        x = rng.random((40, 3))
+        m = np.ones(40)
+        pool = build_octree_vectorized(x, bits=6)
+        ctx = ExecutionContext(
+            device=get_device("mi300x"), backend="reference",
+            on_progress_violation="simulate", warp_width=8,
+        )
+        compute_multipoles_concurrent(pool, x, m, ctx)
+        assert pool.mass[0] == pytest.approx(40.0)
+
+    def test_accounting_counts_atomics(self, small_cloud, ref_ctx):
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        compute_multipoles_concurrent(pool, small_cloud.x, small_cloud.m, ref_ctx)
+        # dim+3 atomics per non-root node, via the real AtomicArray path
+        updates = ref_ctx.counters.atomic_ops
+        assert updates >= (pool.n_nodes - 1)

@@ -1,0 +1,90 @@
+"""Tests for escape-index computation and the stackless DFS property."""
+
+import numpy as np
+import pytest
+
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.traversal import DONE, canonical_structure, compute_escape_indices
+
+
+def full_dfs_with_escapes(pool):
+    """Walk the whole tree opening every internal node; the visit
+    sequence must be exactly preorder DFS."""
+    order = []
+    node = 0
+    while node != DONE:
+        order.append(node)
+        c = int(pool.child[node])
+        node = c if c >= 0 else int(pool.escape[node])
+    return order
+
+
+def preorder(pool):
+    out = []
+
+    def rec(node):
+        out.append(node)
+        c = int(pool.child[node])
+        if c >= 0:
+            for i in range(pool.nchild):
+                rec(c + i)
+
+    rec(0)
+    return out
+
+
+class TestEscapeIndices:
+    def test_stackless_walk_is_preorder(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        compute_escape_indices(pool)
+        assert full_dfs_with_escapes(pool) == preorder(pool)
+
+    def test_walk_visits_every_node_once(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        compute_escape_indices(pool)
+        order = full_dfs_with_escapes(pool)
+        assert sorted(order) == list(range(pool.n_nodes))
+
+    def test_root_escape_is_done(self, small_cloud):
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        esc = compute_escape_indices(pool)
+        assert esc[0] == DONE
+
+    def test_escape_offsets_follow_fig3(self, small_cloud):
+        """Backward steps go to the next sibling, or to the parent's
+        escape from the last sibling (Fig. 3's sibling-or-parent rule)."""
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        esc = compute_escape_indices(pool)
+        for node in pool.internal_nodes():
+            first = int(pool.child[node])
+            for i in range(pool.nchild - 1):
+                assert esc[first + i] == first + i + 1
+            assert esc[first + pool.nchild - 1] == esc[node]
+
+    def test_forward_steps_increase_offsets(self, small_cloud):
+        """Children always sit at larger offsets than their parent —
+        the bump-allocation property Fig. 3's stackless walk relies on."""
+        pool = build_octree_vectorized(small_cloud.x, bits=8)
+        internal = pool.internal_nodes()
+        assert np.all(pool.child[internal] > internal)
+
+    def test_single_node_tree(self):
+        pool = build_octree_vectorized(np.array([[0.5, 0.5, 0.5]]))
+        esc = compute_escape_indices(pool)
+        assert esc.tolist() == [DONE]
+
+
+class TestCanonicalStructure:
+    def test_equal_for_same_points(self, small_cloud):
+        a = build_octree_vectorized(small_cloud.x, bits=6)
+        b = build_octree_vectorized(small_cloud.x, bits=6)
+        assert canonical_structure(a) == canonical_structure(b)
+
+    def test_differs_for_different_points(self, rng):
+        a = build_octree_vectorized(rng.random((30, 3)), bits=6)
+        b = build_octree_vectorized(rng.random((30, 3)), bits=6)
+        assert canonical_structure(a) != canonical_structure(b)
+
+    def test_leaf_form(self):
+        pool = build_octree_vectorized(np.array([[0.1, 0.1, 0.1]]))
+        assert canonical_structure(pool) == ("leaf", frozenset({0}))

@@ -1,0 +1,245 @@
+"""Tests for the physics substrate: bodies, gravity, integrator,
+diagnostics, accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.physics.accuracy import l2_error, max_relative_error, relative_l2_error
+from repro.physics.bodies import BodySystem
+from repro.physics.diagnostics import (
+    angular_momentum,
+    center_of_mass,
+    energy_report,
+    kinetic_energy,
+    momentum,
+    total_energy,
+)
+from repro.physics.gravity import GravityParams, pairwise_accelerations, point_mass_accel, potential_energy
+from repro.physics.integrator import VerletIntegrator, drift, kick
+
+
+class TestBodySystem:
+    def test_construction_and_props(self, small_cloud):
+        assert small_cloud.n == 200
+        assert small_cloud.dim == 3
+        assert small_cloud.total_mass == pytest.approx(small_cloud.m.sum())
+        assert len(small_cloud) == 200
+
+    def test_copy_is_deep(self, small_cloud):
+        c = small_cloud.copy()
+        c.x += 1.0
+        assert not np.allclose(c.x, small_cloud.x)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BodySystem(np.zeros((3, 3)), np.zeros((4, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            BodySystem(np.zeros((3, 3)), np.zeros((3, 3)), np.zeros(4))
+        with pytest.raises(ValueError):
+            BodySystem(np.zeros((3, 4)), np.zeros((3, 4)), np.zeros(3))
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            BodySystem(np.zeros((2, 3)), np.zeros((2, 3)), np.array([1.0, -1.0]))
+
+    def test_nonfinite_rejected(self):
+        x = np.zeros((2, 3))
+        x[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            BodySystem(x, np.zeros((2, 3)), np.ones(2))
+
+    def test_permutation(self, small_cloud):
+        perm = np.arange(small_cloud.n)[::-1].copy()
+        p = small_cloud.permuted(perm)
+        assert np.array_equal(p.x, small_cloud.x[::-1])
+        q = small_cloud.copy()
+        q.apply_permutation(perm)
+        assert np.array_equal(q.x, p.x)
+
+    def test_from_arrays_defaults(self):
+        s = BodySystem.from_arrays(np.random.default_rng(0).random((5, 3)))
+        assert np.array_equal(s.m, np.ones(5))
+        assert np.array_equal(s.v, np.zeros((5, 3)))
+
+    def test_zeros(self):
+        s = BodySystem.zeros(4, dim=2)
+        assert s.n == 4 and s.dim == 2
+
+
+class TestGravity:
+    def test_two_body_analytic(self):
+        x = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        m = np.array([4.0, 1.0])
+        acc = pairwise_accelerations(x, m, GravityParams(G=2.0))
+        assert acc[0, 0] == pytest.approx(2.0 * 1.0 / 4.0)
+        assert acc[1, 0] == pytest.approx(-2.0 * 4.0 / 4.0)
+
+    def test_softening_caps_close_forces(self):
+        x = np.array([[0.0, 0, 0], [1e-9, 0, 0]])
+        m = np.ones(2)
+        soft = pairwise_accelerations(x, m, GravityParams(softening=0.1))
+        assert np.abs(soft).max() < 1e3
+
+    def test_coincident_bodies_no_nan(self):
+        x = np.zeros((2, 3))
+        acc = pairwise_accelerations(x, np.ones(2), GravityParams())
+        assert np.all(np.isfinite(acc)) and np.all(acc == 0)
+
+    def test_targets_subset(self, small_cloud, soft_gravity):
+        full = pairwise_accelerations(small_cloud.x, small_cloud.m, soft_gravity)
+        sub = pairwise_accelerations(
+            small_cloud.x, small_cloud.m, soft_gravity, targets=np.array([3, 7])
+        )
+        assert np.allclose(sub, full[[3, 7]])
+
+    def test_point_mass_accel_rows(self):
+        xt = np.array([[0.0, 0, 0], [0.0, 0, 0]])
+        xs = np.array([[1.0, 0, 0], [0.0, 0, 0]])  # second: zero distance
+        ms = np.array([1.0, 1.0])
+        acc = point_mass_accel(xt, xs, ms, GravityParams())
+        assert acc[0, 0] == pytest.approx(1.0)
+        assert np.all(acc[1] == 0.0)
+
+    def test_potential_energy_pair(self):
+        x = np.array([[0.0, 0, 0], [2.0, 0, 0]])
+        m = np.array([3.0, 5.0])
+        assert potential_energy(x, m, GravityParams()) == pytest.approx(-7.5)
+
+    def test_potential_tiling_invariant(self, small_cloud, soft_gravity):
+        a = potential_energy(small_cloud.x, small_cloud.m, soft_gravity, tile=13)
+        b = potential_energy(small_cloud.x, small_cloud.m, soft_gravity, tile=500)
+        assert a == pytest.approx(b, rel=1e-12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GravityParams(G=0.0)
+        with pytest.raises(ValueError):
+            GravityParams(softening=-1.0)
+
+
+class TestIntegrator:
+    def circular_orbit(self):
+        """Two equal masses on a circular orbit about their barycentre."""
+        m = np.array([1.0, 1.0])
+        x = np.array([[-0.5, 0, 0], [0.5, 0, 0]])
+        # v^2 = G m_total / (4 r_sep) for circular two-body
+        v = np.sqrt(1.0 * 2.0 / 4.0 / 1.0) / np.sqrt(2)  # |v| = sqrt(GM/(2d))/..., solve numerically below
+        # circular speed for each: a = G m / d^2 = v^2 / r  with r = d/2
+        vc = np.sqrt(1.0 * 1.0 / 1.0 / 2.0)
+        vel = np.array([[0, -vc, 0], [0, vc, 0]])
+        return BodySystem(x, vel, m)
+
+    def accel_fn(self, params=GravityParams()):
+        return lambda s: pairwise_accelerations(s.x, s.m, params)
+
+    def test_energy_conservation_long_run(self):
+        s = self.circular_orbit()
+        e0 = total_energy(s)
+        integ = VerletIntegrator(s, self.accel_fn(), dt=1e-2)
+        integ.step(2000)
+        assert abs(total_energy(s) - e0) / abs(e0) < 1e-4
+
+    def test_time_reversibility(self):
+        s = self.circular_orbit()
+        x0 = s.x.copy()
+        integ = VerletIntegrator(s, self.accel_fn(), dt=1e-2)
+        integ.step(500)
+        integ.reverse()
+        integ.step(500)
+        assert np.allclose(s.x, x0, atol=1e-8)
+
+    def test_symplectic_vs_euler_drift(self):
+        """Verlet's energy error stays bounded where explicit Euler's
+        grows — the reason the paper uses Störmer-Verlet."""
+        s1 = self.circular_orbit()
+        e0 = total_energy(s1)
+        VerletIntegrator(s1, self.accel_fn(), dt=5e-2).step(400)
+        verlet_err = abs(total_energy(s1) - e0)
+
+        s2 = self.circular_orbit()
+        dt = 5e-2
+        for _ in range(400):
+            a = self.accel_fn()(s2)
+            s2.x += s2.v * dt
+            s2.v += a * dt
+        euler_err = abs(total_energy(s2) - e0)
+        assert verlet_err < 0.1 * euler_err
+
+    def test_momentum_exactly_conserved(self, small_cloud, soft_gravity):
+        p0 = momentum(small_cloud)
+        integ = VerletIntegrator(
+            small_cloud, self.accel_fn(soft_gravity), dt=1e-3
+        )
+        integ.step(20)
+        assert np.allclose(momentum(small_cloud), p0, atol=1e-10)
+
+    def test_kick_drift_primitives(self):
+        s = BodySystem(np.zeros((1, 3)), np.ones((1, 3)), np.ones(1))
+        drift(s, 2.0)
+        assert np.allclose(s.x, 2.0)
+        kick(s, np.full((1, 3), 3.0), 0.5)
+        assert np.allclose(s.v, 2.5)
+
+    def test_invalid_dt(self, small_cloud):
+        with pytest.raises(ValueError):
+            VerletIntegrator(small_cloud, self.accel_fn(), dt=0.0)
+
+    def test_steps_counted(self):
+        s = self.circular_orbit()
+        integ = VerletIntegrator(s, self.accel_fn(), dt=1e-2)
+        integ.step(7)
+        assert integ.steps_taken == 7
+
+
+class TestDiagnostics:
+    def test_kinetic_energy(self):
+        s = BodySystem(np.zeros((2, 3)),
+                       np.array([[1.0, 0, 0], [0, 2.0, 0]]),
+                       np.array([2.0, 1.0]))
+        assert kinetic_energy(s) == pytest.approx(0.5 * 2 * 1 + 0.5 * 1 * 4)
+
+    def test_center_of_mass(self):
+        s = BodySystem(np.array([[0.0, 0, 0], [1.0, 0, 0]]),
+                       np.zeros((2, 3)), np.array([1.0, 3.0]))
+        assert np.allclose(center_of_mass(s), [0.75, 0, 0])
+
+    def test_angular_momentum_3d(self):
+        s = BodySystem(np.array([[1.0, 0, 0]]),
+                       np.array([[0.0, 2.0, 0]]), np.array([3.0]))
+        assert np.allclose(angular_momentum(s), [0, 0, 6.0])
+
+    def test_angular_momentum_2d(self):
+        s = BodySystem(np.array([[1.0, 0.0]]),
+                       np.array([[0.0, 2.0]]), np.array([3.0]))
+        assert np.allclose(angular_momentum(s), [6.0])
+
+    def test_energy_report_drift(self, small_cloud, soft_gravity):
+        r = energy_report(small_cloud, soft_gravity)
+        assert r.total == pytest.approx(r.kinetic + r.potential)
+        assert r.drift_from(r) == 0.0
+
+
+class TestAccuracy:
+    def test_l2_zero_for_identical(self, small_cloud):
+        assert l2_error(small_cloud.x, small_cloud.x) == 0.0
+
+    def test_l2_known_value(self):
+        a = np.zeros((4, 3))
+        b = np.zeros((4, 3))
+        b[:, 0] = 2.0
+        assert l2_error(a, b) == pytest.approx(2.0)
+
+    def test_relative_l2(self):
+        ref = np.ones((10, 3))
+        off = ref * 1.001
+        assert relative_l2_error(off, ref) == pytest.approx(0.001, rel=1e-6)
+
+    def test_max_relative(self):
+        ref = np.ones((3, 3))
+        a = ref.copy()
+        a[1] *= 1.1
+        assert max_relative_error(a, ref) == pytest.approx(0.1, rel=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            l2_error(np.zeros((2, 3)), np.zeros((3, 3)))

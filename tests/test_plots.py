@@ -1,0 +1,56 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.bench.plots import grouped_bars, render_figure
+
+
+ROWS = [
+    {"device": "NV H100-80", "algorithm": "octree", "bodies_per_s": 1.5e7},
+    {"device": "NV H100-80", "algorithm": "bvh", "bodies_per_s": 1.0e7},
+    {"device": "AMD MI300X", "algorithm": "octree", "bodies_per_s": None},
+    {"device": "AMD MI300X", "algorithm": "bvh", "bodies_per_s": 1.2e7},
+]
+
+
+class TestGroupedBars:
+    def test_groups_and_bars(self):
+        out = grouped_bars(ROWS, title="t")
+        assert "NV H100-80" in out and "AMD MI300X" in out
+        assert "(not supported)" in out     # the paper's missing bars
+        assert "15.00M" in out
+
+    def test_log_scale_ordering(self):
+        out = grouped_bars(ROWS)
+        lines = [l for l in out.splitlines() if "|" in l and "=" in l]
+        # larger values get longer bars
+        bar_len = {l.split("|")[0].strip(): l.count("=") for l in lines}
+        assert bar_len["octree"] >= bar_len["bvh"]
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bars([{"device": "x", "algorithm": "y",
+                                             "bodies_per_s": None}])
+
+    def test_value_formatting(self):
+        out = grouped_bars([{"device": "d", "algorithm": "a", "bodies_per_s": 950.0}])
+        assert "950" in out
+
+
+class TestRenderFigure:
+    def test_fig6_renders(self):
+        assert "throughput" in render_figure("fig6", ROWS)
+
+    def test_fig8_tabular_only(self):
+        assert render_figure("fig8", []) is None
+
+    def test_fig5_pairs_seq_par(self):
+        rows = [{"device": "cpu", "algorithm": "octree",
+                 "par_bodies_per_s": 2e6, "seq_bodies_per_s": 1e5}]
+        out = render_figure("fig5", rows)
+        assert "(seq)" in out and "(par)" in out
+
+    def test_fig9_flattens_toolchains(self):
+        rows = [{"device": "gh200", "algorithm": "bvh", "n": 10000,
+                 "nvcpp_bodies_per_s": 2e7, "acpp_bodies_per_s": 1.8e7}]
+        out = render_figure("fig9", rows)
+        assert "nvcpp" in out and "acpp" in out and "N = 10000" in out

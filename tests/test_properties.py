@@ -1,0 +1,175 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These tie the subsystems together: for arbitrary random systems, the
+tree algorithms must agree with each other and with the exact sum at
+the accuracy their theory predicts; counters must behave like measures;
+the integrator must show its convergence order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.build import build_bvh
+from repro.bvh.force import bvh_accelerations
+from repro.machine.counters import Counters
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.force import octree_accelerations
+from repro.octree.multipoles import compute_multipoles_vectorized
+from repro.octree.traversal import validate_tree
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams, pairwise_accelerations
+from repro.physics.integrator import VerletIntegrator
+from repro.physics.diagnostics import total_energy
+
+
+def random_system(seed: int, n: int, clustered: bool) -> BodySystem:
+    rng = np.random.default_rng(seed)
+    if clustered:
+        centers = rng.random((4, 3)) * 4.0
+        x = (centers[rng.integers(0, 4, n)]
+             + 0.3 * rng.standard_normal((n, 3)))
+    else:
+        x = rng.random((n, 3))
+    m = rng.random(n) + 0.05
+    return BodySystem(x, np.zeros((n, 3)), m)
+
+
+class TestForceAgreement:
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 150), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_octree_exact_at_theta_zero(self, seed, n, clustered):
+        s = random_system(seed, n, clustered)
+        params = GravityParams(softening=1e-3)
+        pool = build_octree_vectorized(s.x, bits=12)
+        validate_tree(pool, n)
+        compute_multipoles_vectorized(pool, s.x, s.m)
+        acc = octree_accelerations(pool, s.x, s.m, params, theta=0.0)
+        ref = pairwise_accelerations(s.x, s.m, params)
+        assert np.allclose(acc, ref, rtol=1e-8, atol=1e-10)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 150), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_bvh_exact_at_theta_zero(self, seed, n, clustered):
+        s = random_system(seed, n, clustered)
+        params = GravityParams(softening=1e-3)
+        bvh = build_bvh(s.x, s.m)
+        acc = bvh_accelerations(bvh, params, theta=0.0)
+        ref = pairwise_accelerations(s.x, s.m, params)
+        assert np.allclose(acc, ref, rtol=1e-8, atol=1e-10)
+
+    @given(st.integers(0, 2**32 - 1), st.floats(0.1, 1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_bh_error_within_theory(self, seed, theta):
+        """Barnes-Hut relative force error is O(theta^2) with a modest
+        constant; assert a generous envelope over random inputs."""
+        s = random_system(seed, 120, clustered=True)
+        params = GravityParams(softening=1e-3)
+        pool = build_octree_vectorized(s.x)
+        compute_multipoles_vectorized(pool, s.x, s.m)
+        acc = octree_accelerations(pool, s.x, s.m, params, theta=theta)
+        ref = pairwise_accelerations(s.x, s.m, params)
+        rel = np.abs(acc - ref).max() / np.abs(ref).max()
+        assert rel <= 0.6 * theta**2 + 1e-8
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_strategies_agree_at_tight_theta(self, seed):
+        s = random_system(seed, 100, clustered=False)
+        params = GravityParams(softening=1e-3)
+        pool = build_octree_vectorized(s.x)
+        compute_multipoles_vectorized(pool, s.x, s.m)
+        a_oct = octree_accelerations(pool, s.x, s.m, params, theta=0.1)
+        bvh = build_bvh(s.x, s.m)
+        a_bvh = bvh_accelerations(bvh, params, theta=0.1)
+        scale = np.abs(a_oct).max()
+        assert np.abs(a_oct - a_bvh).max() / scale < 5e-3
+
+
+class TestTreeInvariantsProperty:
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 200),
+        st.integers(2, 12),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_octree_structural_invariants(self, seed, n, bits, clustered):
+        s = random_system(seed, n, clustered)
+        pool = build_octree_vectorized(s.x, bits=bits)
+        validate_tree(pool, n)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_bvh_mass_and_cover(self, seed, n):
+        s = random_system(seed, n, clustered=False)
+        bvh = build_bvh(s.x, s.m)
+        assert bvh.mass[0] == pytest.approx(s.m.sum(), rel=1e-12)
+        assert bvh.count[0] == n
+        assert (bvh.bb_lo[0] <= s.x.min(0) + 1e-12).all()
+        assert (bvh.bb_hi[0] >= s.x.max(0) - 1e-12).all()
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 120))
+    @settings(max_examples=20, deadline=None)
+    def test_duplicate_positions_handled(self, seed, n):
+        """Any number of coincident bodies must survive both builders."""
+        rng = np.random.default_rng(seed)
+        base = rng.random((max(n // 3, 1), 3))
+        x = base[rng.integers(0, len(base), n)]  # heavy duplication
+        m = np.ones(n)
+        pool = build_octree_vectorized(x, bits=6)
+        validate_tree(pool, n)
+        compute_multipoles_vectorized(pool, x, m)
+        assert pool.mass[0] == pytest.approx(n)
+        bvh = build_bvh(x, m)
+        assert bvh.count[0] == n
+
+
+class TestCountersProperty:
+    @given(st.lists(st.tuples(st.floats(0, 1e9), st.floats(0, 1e9)), max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_addition_is_componentwise_sum(self, pairs):
+        total = Counters()
+        expect_flops = expect_bytes = 0.0
+        for f, b in pairs:
+            c = Counters(flops=f, bytes_read=b)
+            total = total + c
+            expect_flops += f
+            expect_bytes += b
+        assert total.flops == pytest.approx(expect_flops)
+        assert total.bytes_read == pytest.approx(expect_bytes)
+
+    @given(st.floats(0.01, 100.0), st.floats(0, 1e6), st.floats(0, 1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_is_linear(self, k, f, a):
+        c = Counters(flops=f, atomic_ops=a)
+        s = c.scaled(k)
+        assert s.flops == pytest.approx(k * f)
+        assert s.atomic_ops == pytest.approx(k * a)
+
+
+class TestIntegratorOrder:
+    def test_verlet_is_second_order(self):
+        """Halving dt must cut the global position error ~4x."""
+        params = GravityParams()
+        m = np.array([1.0, 1.0])
+        x0 = np.array([[-0.5, 0, 0], [0.5, 0, 0]])
+        vc = np.sqrt(0.5)
+        v0 = np.array([[0, -vc, 0], [0, vc, 0]])
+
+        def run(dt, t_end=2.0):
+            s = BodySystem(x0.copy(), v0.copy(), m.copy())
+            integ = VerletIntegrator(
+                s, lambda sy: pairwise_accelerations(sy.x, sy.m, params), dt
+            )
+            integ.step(int(round(t_end / dt)))
+            return s.x
+
+        # reference with a tiny step
+        ref = run(1e-4)
+        errs = [np.abs(run(dt) - ref).max() for dt in (4e-2, 2e-2, 1e-2)]
+        r1 = errs[0] / errs[1]
+        r2 = errs[1] / errs[2]
+        assert 3.0 < r1 < 5.0
+        assert 3.0 < r2 < 5.0

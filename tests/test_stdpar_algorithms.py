@@ -1,0 +1,181 @@
+"""Tests for the parallel algorithms layer (for_each / transform_reduce /
+sort) and its policy/device validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ForwardProgressError, VectorizationUnsafeError
+from repro.machine.catalog import get_device
+from repro.stdpar.algorithms import for_each, sort_by_key, transform_reduce
+from repro.stdpar.atomics import AtomicArray, relaxed
+from repro.stdpar.context import ExecutionContext
+from repro.stdpar.kernel import Kernel, kernel_from_functions
+from repro.stdpar.policy import par, par_unseq, seq
+from repro.stdpar.scheduler import FetchAdd
+
+
+def make_square_kernel(out):
+    def batch(idx):
+        out[idx] = idx * idx
+
+    def scalar(i):
+        out[i] = i * i
+        return
+        yield  # pragma: no cover
+
+    return kernel_from_functions("square", scalar=scalar, batch=batch)
+
+
+class TestForEach:
+    @pytest.mark.parametrize("policy", [seq, par, par_unseq])
+    def test_square_all_policies(self, policy, ctx):
+        out = np.zeros(50, dtype=np.int64)
+        for_each(policy, 50, make_square_kernel(out), ctx)
+        assert np.array_equal(out, np.arange(50) ** 2)
+
+    def test_scalar_only_kernel_under_par(self, ref_ctx):
+        out = np.zeros(20, dtype=np.int64)
+
+        def scalar(i):
+            out[i] = i + 1
+            return
+            yield  # pragma: no cover
+
+        for_each(par, 20, kernel_from_functions("inc", scalar=scalar), ref_ctx)
+        assert np.array_equal(out, np.arange(1, 21))
+
+    def test_atomics_under_par_unseq_rejected(self, ctx):
+        kernel = kernel_from_functions(
+            "atomic", batch=lambda idx: None, uses_atomics=True
+        )
+        with pytest.raises(VectorizationUnsafeError):
+            for_each(par_unseq, 10, kernel, ctx)
+
+    def test_atomics_under_par_allowed(self, ref_ctx):
+        acc = AtomicArray(np.zeros(1, dtype=np.int64), ref_ctx.counters)
+
+        def scalar(i):
+            yield FetchAdd(acc, 0, 1, relaxed)
+
+        kernel = kernel_from_functions("count", scalar=scalar, uses_atomics=True)
+        for_each(par, 25, kernel, ref_ctx)
+        assert acc.data[0] == 25
+
+    def test_par_on_non_its_gpu_raises(self):
+        ctx = ExecutionContext(device=get_device("mi300x"))
+        kernel = kernel_from_functions("k", batch=lambda idx: None, uses_atomics=True)
+        with pytest.raises(ForwardProgressError):
+            for_each(par, 10, kernel, ctx)
+
+    def test_par_unseq_on_non_its_gpu_ok(self):
+        ctx = ExecutionContext(device=get_device("mi300x"))
+        out = np.zeros(10)
+        kernel = kernel_from_functions("k", batch=lambda idx: out.__setitem__(idx, 1.0))
+        for_each(par_unseq, 10, kernel, ctx)
+        assert out.sum() == 10
+
+    def test_unproven_atomic_batch_uses_scalar(self, ctx):
+        """A kernel with atomics and a batch path that is NOT declared
+        equivalent must take the scalar path under par."""
+        hits = {"batch": 0, "scalar": 0}
+
+        def batch(idx):
+            hits["batch"] += 1
+
+        def scalar(i):
+            hits["scalar"] += 1
+            return
+            yield  # pragma: no cover
+
+        kernel = kernel_from_functions(
+            "k", scalar=scalar, batch=batch,
+            uses_atomics=True, batch_equivalent_to_atomics=False,
+        )
+        for_each(par, 5, kernel, ctx)
+        assert hits == {"batch": 0, "scalar": 5}
+
+    def test_equivalent_atomic_batch_used(self, ctx):
+        hits = {"batch": 0}
+        kernel = kernel_from_functions(
+            "k", batch=lambda idx: hits.__setitem__("batch", hits["batch"] + 1),
+            uses_atomics=True, batch_equivalent_to_atomics=True,
+        )
+        for_each(par, 5, kernel, ctx)
+        assert hits["batch"] == 1
+
+    def test_empty_range(self, ctx):
+        for_each(par, 0, kernel_from_functions("k", batch=lambda idx: 1 / 0), ctx)
+
+    def test_iterations_counted(self, ctx):
+        for_each(par_unseq, 123, kernel_from_functions("k", batch=lambda i: None), ctx)
+        assert ctx.counters.loop_iterations == 123
+        assert ctx.counters.kernel_launches == 1
+
+    def test_explicit_items(self, ctx):
+        got = []
+        kernel = kernel_from_functions("k", batch=lambda items: got.extend(items))
+        for_each(par_unseq, np.array([5, 7, 9]), kernel, ctx)
+        assert got == [5, 7, 9]
+
+
+class TestKernelValidation:
+    def test_kernel_needs_an_implementation(self):
+        with pytest.raises(ValueError):
+            Kernel(name="empty")
+
+    def test_kernel_flags(self):
+        k = kernel_from_functions("k", batch=lambda i: None)
+        assert k.has_batch and not k.has_scalar
+
+
+class TestTransformReduce:
+    def test_sequential_fold(self, ctx):
+        total = transform_reduce(
+            seq, 10, 0, lambda a, b: a + b, lambda i: i * 2, ctx
+        )
+        assert total == 90
+
+    def test_batch_path(self, ctx):
+        total = transform_reduce(
+            par_unseq, 10, 0, lambda a, b: a + b, lambda i: i * 2, ctx,
+            batch=lambda idx: int((idx * 2).sum()),
+        )
+        assert total == 90
+
+    def test_reference_backend_uses_fold(self):
+        ctx = ExecutionContext(backend="reference")
+        calls = {"batch": 0}
+        total = transform_reduce(
+            par, 5, 0, lambda a, b: a + b, lambda i: i, ctx,
+            batch=lambda idx: calls.__setitem__("batch", 1),
+        )
+        assert total == 10 and calls["batch"] == 0
+
+    def test_flops_accounted(self, ctx):
+        transform_reduce(
+            par_unseq, 100, 0, lambda a, b: a + b, lambda i: i, ctx,
+            batch=lambda idx: 0, flops_per_item=3.0, bytes_per_item=8.0,
+        )
+        assert ctx.counters.flops == 300
+        assert ctx.counters.bytes_read == 800
+
+
+class TestSort:
+    def test_sorts(self, ctx, rng):
+        keys = rng.integers(0, 1000, 64)
+        perm = sort_by_key(par, keys, ctx)
+        assert (np.diff(keys[perm]) >= 0).all()
+
+    def test_stable_on_duplicates(self, ctx):
+        keys = np.array([2, 1, 2, 1, 2])
+        perm = sort_by_key(par, keys, ctx)
+        # ties keep original relative order
+        assert perm.tolist() == [1, 3, 0, 2, 4]
+
+    def test_comparisons_counted(self, ctx):
+        n = 256
+        sort_by_key(par, np.arange(n)[::-1].copy(), ctx)
+        assert ctx.counters.sort_comparisons == pytest.approx(n * np.log2(n))
+
+    def test_empty(self, ctx):
+        assert len(sort_by_key(par, np.array([]), ctx)) == 0

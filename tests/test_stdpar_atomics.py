@@ -1,0 +1,137 @@
+"""Tests for AtomicArray and memory-order accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorizationUnsafeError
+from repro.machine.counters import Counters
+from repro.stdpar.atomics import (
+    AtomicArray,
+    MemoryOrder,
+    acq_rel,
+    acquire,
+    relaxed,
+    release,
+    seq_cst,
+    vectorized_region,
+    in_vectorized_region,
+)
+
+
+@pytest.fixture
+def atom():
+    return AtomicArray(np.zeros(8, dtype=np.int64), Counters())
+
+
+class TestOperations:
+    def test_load_store(self, atom):
+        atom.store(3, 42)
+        assert atom.load(3) == 42
+
+    def test_fetch_add_returns_old(self, atom):
+        atom.store(0, 10)
+        assert atom.fetch_add(0, 5) == 10
+        assert atom.load(0) == 15
+
+    def test_fetch_add_float(self):
+        a = AtomicArray(np.zeros(2))
+        a.fetch_add(1, 0.25, relaxed)
+        a.fetch_add(1, 0.25, relaxed)
+        assert a.data[1] == 0.5
+
+    def test_compare_exchange_success(self, atom):
+        ok, observed = atom.compare_exchange(2, 0, 7)
+        assert ok and observed == 0
+        assert atom.load(2) == 7
+
+    def test_compare_exchange_failure(self, atom):
+        atom.store(2, 1)
+        ok, observed = atom.compare_exchange(2, 0, 7)
+        assert not ok and observed == 1
+        assert atom.load(2) == 1  # unchanged
+
+    def test_fetch_max(self, atom):
+        atom.store(0, 5)
+        assert atom.fetch_max(0, 3) == 5
+        assert atom.load(0) == 5
+        atom.fetch_max(0, 9)
+        assert atom.load(0) == 9
+
+    def test_tuple_index(self):
+        a = AtomicArray(np.zeros((3, 3)))
+        a.fetch_add((1, 2), 1.5, relaxed)
+        assert a.data[1, 2] == 1.5
+
+    def test_wraps_only_ndarray(self):
+        with pytest.raises(TypeError):
+            AtomicArray([1, 2, 3])
+
+
+class TestCounting:
+    def test_ops_counted(self, atom):
+        atom.load(0)
+        atom.store(0, 1)
+        atom.fetch_add(0, 1)
+        atom.compare_exchange(0, 2, 3)
+        assert atom.counters.atomic_ops == 4
+
+    def test_sync_classification(self, atom):
+        """Only synchronizing RMWs count as sync_atomic_ops: relaxed ops
+        and plain atomic loads do not."""
+        atom.load(0, acquire)           # load: not a sync RMW
+        atom.fetch_add(0, 1, relaxed)   # relaxed RMW: no
+        atom.fetch_add(0, 1, acq_rel)   # yes
+        atom.store(0, 0, release)       # yes
+        ok, _ = atom.compare_exchange(0, 0, 1, acquire, relaxed)  # yes
+        assert atom.counters.sync_atomic_ops == 3
+
+    def test_failed_cas_is_contended(self, atom):
+        atom.store(0, 9)
+        atom.compare_exchange(0, 0, 1)
+        assert atom.counters.contended_atomic_ops == 1
+
+    def test_successful_cas_not_contended(self, atom):
+        atom.compare_exchange(0, 0, 1)
+        assert atom.counters.contended_atomic_ops == 0
+
+
+class TestVectorizationSafety:
+    def test_atomics_rejected_under_par_unseq(self, atom):
+        """Atomics are vectorization-unsafe ([algorithms.parallel.defns])."""
+        with vectorized_region():
+            for op in (
+                lambda: atom.load(0),
+                lambda: atom.store(0, 1),
+                lambda: atom.fetch_add(0, 1),
+                lambda: atom.compare_exchange(0, 0, 1),
+                lambda: atom.fetch_max(0, 1),
+            ):
+                with pytest.raises(VectorizationUnsafeError):
+                    op()
+
+    def test_region_nesting(self):
+        assert not in_vectorized_region()
+        with vectorized_region():
+            assert in_vectorized_region()
+            with vectorized_region():
+                assert in_vectorized_region()
+            assert in_vectorized_region()
+        assert not in_vectorized_region()
+
+    def test_region_exits_on_exception(self, atom):
+        try:
+            with vectorized_region():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not in_vectorized_region()
+        atom.fetch_add(0, 1)  # fine again
+
+
+class TestMemoryOrder:
+    def test_relaxed_does_not_synchronize(self):
+        assert not MemoryOrder.RELAXED.synchronizes
+
+    @pytest.mark.parametrize("order", [acquire, release, acq_rel, seq_cst])
+    def test_others_synchronize(self, order):
+        assert order.synchronizes

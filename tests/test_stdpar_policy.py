@@ -1,0 +1,65 @@
+"""Tests for execution policies and forward-progress semantics."""
+
+import pytest
+
+from repro.stdpar.policy import ALL_POLICIES, get_policy, par, par_unseq, seq
+from repro.stdpar.progress import ForwardProgress
+
+
+class TestPolicies:
+    def test_seq_properties(self):
+        assert not seq.parallel and not seq.vectorized
+        assert seq.allows_atomics
+
+    def test_par_properties(self):
+        assert par.parallel and not par.vectorized
+        assert par.allows_atomics
+        assert par.required_progress == ForwardProgress.PARALLEL
+
+    def test_par_unseq_properties(self):
+        assert par_unseq.parallel and par_unseq.vectorized
+        assert not par_unseq.allows_atomics
+        assert par_unseq.required_progress == ForwardProgress.WEAKLY_PARALLEL
+
+    def test_get_policy(self):
+        for p in ALL_POLICIES:
+            assert get_policy(p.name) is p
+
+    def test_get_policy_unknown(self):
+        with pytest.raises(ValueError):
+            get_policy("unsequenced")
+
+    def test_policies_are_frozen(self):
+        with pytest.raises(Exception):
+            par.parallel = False
+
+
+class TestForwardProgress:
+    def test_ordering(self):
+        assert (
+            ForwardProgress.WEAKLY_PARALLEL
+            < ForwardProgress.PARALLEL
+            < ForwardProgress.CONCURRENT
+        )
+
+    def test_satisfies_reflexive(self):
+        for fp in ForwardProgress:
+            assert fp.satisfies(fp)
+
+    def test_stronger_satisfies_weaker(self):
+        assert ForwardProgress.CONCURRENT.satisfies(ForwardProgress.PARALLEL)
+        assert ForwardProgress.PARALLEL.satisfies(ForwardProgress.WEAKLY_PARALLEL)
+
+    def test_weaker_does_not_satisfy_stronger(self):
+        assert not ForwardProgress.WEAKLY_PARALLEL.satisfies(ForwardProgress.PARALLEL)
+        assert not ForwardProgress.PARALLEL.satisfies(ForwardProgress.CONCURRENT)
+
+    def test_paper_device_classes(self):
+        """CPUs and ITS GPUs can run par; non-ITS GPUs cannot."""
+        cpu = ForwardProgress.CONCURRENT
+        its_gpu = ForwardProgress.PARALLEL
+        legacy_gpu = ForwardProgress.WEAKLY_PARALLEL
+        assert cpu.satisfies(par.required_progress)
+        assert its_gpu.satisfies(par.required_progress)
+        assert not legacy_gpu.satisfies(par.required_progress)
+        assert legacy_gpu.satisfies(par_unseq.required_progress)

@@ -1,0 +1,77 @@
+"""Tests for the reduce / scan algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stdpar.algorithms import exclusive_scan, inclusive_scan, reduce
+from repro.stdpar.context import ExecutionContext
+from repro.stdpar.policy import par, par_unseq, seq
+
+
+class TestReduce:
+    def test_sum(self, ctx):
+        assert reduce(par, np.arange(10), 0, lambda a, b: a + b, ctx) == 45
+
+    def test_init_included(self, ctx):
+        assert reduce(seq, np.arange(5), 100, lambda a, b: a + b, ctx) == 110
+
+    def test_batch_path(self, ctx):
+        calls = {"batch": 0}
+
+        def batch(v):
+            calls["batch"] += 1
+            return float(v.sum())
+
+        out = reduce(par_unseq, np.arange(6.0), 1.0, lambda a, b: a + b, ctx,
+                     batch=batch)
+        assert out == 16.0 and calls["batch"] == 1
+
+    def test_empty(self, ctx):
+        assert reduce(par, np.array([]), 7, lambda a, b: a + b, ctx,
+                      batch=lambda v: v.sum()) == 7
+
+    def test_counters(self, ctx):
+        reduce(par, np.arange(100.0), 0.0, lambda a, b: a + b, ctx)
+        assert ctx.counters.loop_iterations == 100
+        assert ctx.counters.flops == 99
+
+
+class TestScans:
+    def test_exclusive_known(self, ctx):
+        out = exclusive_scan(par, np.array([1, 2, 3, 4]), 0, ctx)
+        assert out.tolist() == [0, 1, 3, 6]
+
+    def test_exclusive_with_init(self, ctx):
+        out = exclusive_scan(par, np.array([1, 2, 3]), 10, ctx)
+        assert out.tolist() == [10, 11, 13]
+
+    def test_inclusive_known(self, ctx):
+        out = inclusive_scan(par, np.array([1, 2, 3, 4]), ctx)
+        assert out.tolist() == [1, 3, 6, 10]
+
+    def test_empty(self, ctx):
+        assert len(exclusive_scan(par, np.array([]), 0, ctx)) == 0
+        assert len(inclusive_scan(par, np.array([]), ctx)) == 0
+
+    @given(hnp.arrays(np.int64, st.integers(1, 200),
+                      elements=st.integers(-1000, 1000)))
+    @settings(max_examples=50, deadline=None)
+    def test_scan_relationship(self, values):
+        """inclusive[i] == exclusive[i] + v[i], and the last inclusive
+        element is the total sum."""
+        ctx = ExecutionContext()
+        ex = exclusive_scan(par, values, 0, ctx)
+        inc = inclusive_scan(par, values, ctx)
+        assert np.array_equal(inc, ex + values)
+        assert inc[-1] == values.sum()
+
+    def test_parallel_scan_launch_count(self, ctx):
+        """Parallel scans are two-pass (up-sweep + down-sweep)."""
+        exclusive_scan(par, np.arange(10), 0, ctx)
+        assert ctx.counters.kernel_launches == 2.0
+        ctx2 = ExecutionContext()
+        exclusive_scan(seq, np.arange(10), 0, ctx2)
+        assert ctx2.counters.kernel_launches == 1.0

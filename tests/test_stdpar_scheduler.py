@@ -1,0 +1,176 @@
+"""Tests for the virtual-thread scheduler — the forward-progress model.
+
+These tests pin down the paper's central semantic claims:
+
+* the starvation-free locking protocol terminates under FAIR scheduling
+  (parallel forward progress / ITS) for *any* fair interleaving;
+* under LOCKSTEP scheduling (no ITS) a lock whose holder is a masked
+  warp-mate livelocks — "reliably caused them to hang" (Section V-B);
+* wait-free algorithms (atomic accumulation without spinning) complete
+  under both modes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LivelockDetected
+from repro.machine.counters import Counters
+from repro.stdpar.atomics import AtomicArray, acquire, relaxed, release
+from repro.stdpar.scheduler import (
+    CompareExchange,
+    FetchAdd,
+    Load,
+    Pause,
+    SchedulerMode,
+    Store,
+    VirtualThreadScheduler,
+)
+
+UNLOCKED, LOCKED_TOKEN = 0, 1
+
+
+def counter_thread(atom, idx, times):
+    """Increment a shared counter with relaxed fetch_add (wait-free)."""
+    def gen():
+        for _ in range(times):
+            yield FetchAdd(atom, idx, 1, relaxed)
+    return gen
+
+
+def lock_thread(lock, shared, i):
+    """Spin on a CAS lock, increment shared data, release (starvation-
+    free critical section; the shape of paper Algorithm 5)."""
+    def gen():
+        while True:
+            ok, _ = yield CompareExchange(lock, 0, UNLOCKED, LOCKED_TOKEN, acquire, relaxed)
+            if ok:
+                break
+        v = yield Load(shared, 0, relaxed)
+        yield Store(shared, 0, v + 1, relaxed)
+        yield Store(lock, 0, UNLOCKED, release)
+        return i
+    return gen
+
+
+class TestFair:
+    def test_counter_sums(self):
+        data = np.zeros(1, dtype=np.int64)
+        atom = AtomicArray(data)
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        sched.run([counter_thread(atom, 0, 10) for _ in range(20)])
+        assert data[0] == 200
+
+    def test_lock_mutual_exclusion(self):
+        lock = AtomicArray(np.zeros(1, dtype=np.int64))
+        shared = AtomicArray(np.zeros(1, dtype=np.int64))
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        results = sched.run([lock_thread(lock, shared, i) for i in range(30)])
+        assert shared.data[0] == 30          # no lost updates
+        assert lock.data[0] == UNLOCKED      # lock released
+        assert sorted(results) == list(range(30))
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_lock_protocol_correct_under_any_fair_schedule(self, seed, n):
+        """Property: shuffled fair interleavings never lose updates."""
+        lock = AtomicArray(np.zeros(1, dtype=np.int64))
+        shared = AtomicArray(np.zeros(1, dtype=np.int64))
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR, shuffle_seed=seed)
+        sched.run([lock_thread(lock, shared, i) for i in range(n)])
+        assert shared.data[0] == n
+
+    def test_thread_return_values(self):
+        def gen(i):
+            def g():
+                yield Pause()
+                return i * i
+            return g
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        assert sched.run([gen(i) for i in range(5)]) == [0, 1, 4, 9, 16]
+
+    def test_empty_thread_set(self):
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        assert sched.run([]) == []
+
+    def test_immediately_finishing_threads(self):
+        def gen():
+            return
+            yield  # pragma: no cover
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        assert sched.run([gen, gen]) == [None, None]
+
+    def test_nonterminating_thread_detected(self):
+        def spin():
+            while True:
+                yield Pause()
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR, op_budget_per_thread=100)
+        with pytest.raises(LivelockDetected):
+            sched.run([spin])
+
+
+class TestLockstep:
+    def test_waitfree_counter_completes(self):
+        """Wait-free algorithms need only weakly parallel progress —
+        they complete even without ITS."""
+        data = np.zeros(1, dtype=np.int64)
+        atom = AtomicArray(data)
+        sched = VirtualThreadScheduler(SchedulerMode.LOCKSTEP, warp_width=8)
+        sched.run([counter_thread(atom, 0, 5) for _ in range(32)])
+        assert data[0] == 160
+
+    def test_intra_warp_lock_livelocks(self):
+        """Lock holder masked off inside a diverged warp: the spinners
+        never succeed.  This is the paper's no-ITS GPU hang."""
+        lock = AtomicArray(np.zeros(1, dtype=np.int64))
+        shared = AtomicArray(np.zeros(1, dtype=np.int64))
+        sched = VirtualThreadScheduler(
+            SchedulerMode.LOCKSTEP, warp_width=4, spin_budget=200
+        )
+        with pytest.raises(LivelockDetected):
+            sched.run([lock_thread(lock, shared, i) for i in range(4)])
+
+    def test_cross_warp_lock_completes(self):
+        """One thread per warp: the holder is never masked by the
+        spinners' divergence, so cross-warp contention resolves."""
+        lock = AtomicArray(np.zeros(1, dtype=np.int64))
+        shared = AtomicArray(np.zeros(1, dtype=np.int64))
+        sched = VirtualThreadScheduler(SchedulerMode.LOCKSTEP, warp_width=1)
+        sched.run([lock_thread(lock, shared, i) for i in range(8)])
+        assert shared.data[0] == 8
+
+    def test_lockstep_no_sync_completes(self):
+        def gen(i):
+            def g():
+                yield Pause()
+                yield Pause()
+                return i
+            return g
+        sched = VirtualThreadScheduler(SchedulerMode.LOCKSTEP, warp_width=4)
+        assert sched.run([gen(i) for i in range(10)]) == list(range(10))
+
+
+class TestConfig:
+    def test_bad_warp_width(self):
+        with pytest.raises(ValueError):
+            VirtualThreadScheduler(warp_width=0)
+
+    def test_ops_counted(self):
+        c = Counters()
+        atom = AtomicArray(np.zeros(1, dtype=np.int64), c)
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR, counters=c)
+        sched.run([counter_thread(atom, 0, 3) for _ in range(2)])
+        assert sched.ops_executed == 6
+        assert c.atomic_ops == 6
+
+    def test_unknown_op_rejected(self):
+        class Bogus:
+            pass
+
+        def gen():
+            yield Bogus()
+
+        sched = VirtualThreadScheduler(SchedulerMode.FAIR)
+        with pytest.raises(TypeError):
+            sched.run([gen])

@@ -1,0 +1,120 @@
+"""Tests for tree reuse across timesteps (Iwasawa et al. amortization,
+paper Section VI: "can be applied to any Barnes-Hut implementation")."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.errors import ConfigurationError
+from repro.physics.accuracy import relative_l2_error
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+PARAMS = GravityParams(softening=0.05)
+
+
+def run(alg, reuse, steps=8, n=250, dt=1e-3):
+    s = galaxy_collision(n, seed=1)
+    cfg = SimulationConfig(algorithm=alg, theta=0.4, dt=dt, gravity=PARAMS,
+                           tree_reuse_steps=reuse)
+    sim = Simulation(s, cfg)
+    rep = sim.run(steps)
+    return s, rep, sim
+
+
+class TestConfig:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_invalid_values(self, bad):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(tree_reuse_steps=bad)
+
+    def test_default_is_every_step(self):
+        assert SimulationConfig().tree_reuse_steps == 1
+
+
+class TestOctreeReuse:
+    def test_reuse_one_is_identical(self):
+        a, _, _ = run("octree", 1)
+        b, _, _ = run("octree", 1)
+        assert np.array_equal(a.x, b.x)
+
+    def test_reuse_skips_builds(self):
+        """With reuse=k the build step runs ~steps/k times."""
+        _, rep1, _ = run("octree", 1)
+        _, rep4, _ = run("octree", 4)
+        # build iterations are proportional to the number of rebuilds
+        b1 = rep1.counters.steps["build_tree"].loop_iterations
+        b4 = rep4.counters.steps["build_tree"].loop_iterations
+        assert b4 < 0.5 * b1
+        # multipoles still run every step
+        m1 = rep1.counters.steps["multipoles"].kernel_launches
+        m4 = rep4.counters.steps["multipoles"].kernel_launches
+        assert m4 == m1
+
+    def test_reuse_error_small_and_bounded(self):
+        fresh, _, _ = run("octree", 1)
+        reused, _, _ = run("octree", 4)
+        err = relative_l2_error(reused.x, fresh.x)
+        assert 0 < err < 1e-3  # an approximation, but a mild one
+
+    def test_error_grows_with_reuse_window(self):
+        fresh, _, _ = run("octree", 1, steps=12, dt=5e-3)
+        errs = []
+        for k in (2, 6, 12):
+            s, _, _ = run("octree", k, steps=12, dt=5e-3)
+            errs.append(relative_l2_error(s.x, fresh.x))
+        assert errs[0] <= errs[-1]
+
+    def test_rebuild_happens_after_window(self):
+        _, _, sim = run("octree", 3, steps=7)
+        # 7 force evaluations at construction+steps: ages cycle 1,2,3
+        assert sim._tree_cache["octree"]["age"] <= 3
+
+    def test_energy_still_conserved(self):
+        from repro.physics.diagnostics import energy_report
+
+        s0 = galaxy_collision(250, seed=1)
+        e0 = energy_report(s0, PARAMS)
+        s, _, _ = run("octree", 4, steps=10)
+        assert energy_report(s, PARAMS).drift_from(e0) < 1e-3
+
+
+class TestBVHReuse:
+    def test_reuse_skips_sorts(self):
+        _, rep1, _ = run("bvh", 1)
+        _, rep4, _ = run("bvh", 4)
+        s1 = rep1.counters.steps["sort"].sort_comparisons
+        s4 = rep4.counters.steps["sort"].sort_comparisons
+        assert s4 < 0.5 * s1
+        # the fused build still runs every step (boxes track positions)
+        b1 = rep1.counters.steps["build_tree"].kernel_launches
+        b4 = rep4.counters.steps["build_tree"].kernel_launches
+        assert b4 == b1
+
+    def test_bvh_boxes_stay_correct_under_reuse(self):
+        """Reused BVH still covers all bodies: boxes are rebuilt from
+        current positions each step (only the *order* is stale)."""
+        fresh, _, _ = run("bvh", 1)
+        reused, _, _ = run("bvh", 5)
+        err = relative_l2_error(reused.x, fresh.x)
+        assert err < 1e-6  # order staleness barely matters for the BVH
+
+    def test_caches_are_per_simulation(self):
+        s1 = galaxy_collision(100, seed=1)
+        s2 = galaxy_collision(100, seed=2)
+        cfg = SimulationConfig(algorithm="bvh", gravity=PARAMS, tree_reuse_steps=5)
+        sim1 = Simulation(s1, cfg)
+        sim2 = Simulation(s2, cfg)
+        sim1.run(2)
+        sim2.run(2)
+        assert sim1._tree_cache is not sim2._tree_cache
+        p1 = sim1._tree_cache["bvh"]["structure"][0]
+        p2 = sim2._tree_cache["bvh"]["structure"][0]
+        assert not np.array_equal(p1, p2)
+
+
+class TestAllPairsIgnoresCache:
+    def test_no_cache_entries(self):
+        _, _, sim = run("all-pairs", 4)
+        assert sim._tree_cache == {}

@@ -1,0 +1,140 @@
+"""Tests for the viz helpers and the execution context."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.catalog import get_device
+from repro.stdpar.context import ExecutionContext, default_context
+from repro.stdpar.scheduler import SchedulerMode
+from repro.viz import density_map, scatter, time_bars
+
+
+class TestDensityMap:
+    def test_shape(self, rng):
+        out = density_map(rng.random((500, 3)), width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10
+        assert all(len(l) == 40 for l in lines)
+
+    def test_dense_region_darker(self):
+        x = np.vstack([
+            np.full((500, 2), 0.1) + 1e-3 * np.random.default_rng(0).standard_normal((500, 2)),
+            np.array([[1.0, 1.0]]),
+        ])
+        out = density_map(x, width=20, height=10)
+        assert "@" in out  # the dense clump saturates the ramp
+
+    def test_empty(self):
+        assert density_map(np.zeros((0, 3))) == "(no points)"
+
+    def test_axes_selection(self, rng):
+        x = rng.random((100, 3))
+        assert density_map(x, axes=(0, 2)) != density_map(x, axes=(0, 1))
+
+
+class TestScatter:
+    def test_labels_use_glyphs(self, rng):
+        y = rng.standard_normal((60, 2))
+        labels = np.repeat([0, 1, 2], 20)
+        out = scatter(y, labels)
+        assert "a" in out and "b" in out and "c" in out
+
+    def test_unlabeled(self, rng):
+        out = scatter(rng.standard_normal((10, 2)))
+        assert "a" in out
+
+    def test_empty(self):
+        assert scatter(np.zeros((0, 2))) == "(no points)"
+
+
+class TestTimeBars:
+    def test_renders_shares(self):
+        out = time_bars({"force": 3.0, "sort": 1.0})
+        assert "force" in out and "sort" in out
+        assert "75.0%" in out and "25.0%" in out
+
+    def test_longest_first(self):
+        out = time_bars({"a": 1.0, "b": 9.0})
+        assert out.index("b") < out.index("a")
+
+    def test_empty(self):
+        assert time_bars({}) == "(no steps)"
+
+
+class TestExecutionContext:
+    def test_default_targets_host(self):
+        ctx = default_context()
+        assert ctx.device.key == "host"
+        assert ctx.backend == "vectorized"
+
+    def test_invalid_backend(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(backend="cuda")
+
+    def test_invalid_violation_mode(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(on_progress_violation="ignore")
+
+    def test_toolchain_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionContext(device=get_device("h100"), toolchain="gcc")
+        ctx = ExecutionContext(device=get_device("h100"), toolchain="acpp")
+        assert ctx.toolchain == "acpp"
+
+    def test_default_toolchain_from_device(self):
+        ctx = ExecutionContext(device=get_device("genoa"))
+        assert ctx.toolchain == "gcc"
+
+    def test_step_counters_switch(self):
+        ctx = ExecutionContext()
+        with ctx.step("build_tree"):
+            ctx.counters.add(flops=5)
+        with ctx.step("force"):
+            ctx.counters.add(flops=7)
+        assert ctx.step_counters.steps["build_tree"].flops == 5
+        assert ctx.step_counters.steps["force"].flops == 7
+
+    def test_step_nesting_restores(self):
+        ctx = ExecutionContext()
+        with ctx.step("outer"):
+            with ctx.step("inner"):
+                ctx.counters.add(flops=1)
+            ctx.counters.add(flops=2)
+        assert ctx.step_counters.steps["inner"].flops == 1
+        assert ctx.step_counters.steps["outer"].flops == 2
+
+    def test_step_seconds_accumulate(self):
+        ctx = ExecutionContext()
+        for _ in range(2):
+            with ctx.step("force"):
+                time.sleep(0.01)
+        assert ctx.step_seconds["force"] >= 0.02
+
+    def test_reset_accounting(self):
+        ctx = ExecutionContext()
+        with ctx.step("force"):
+            ctx.counters.add(flops=1)
+        ctx.reset_accounting()
+        assert ctx.step_counters.steps == {}
+        assert ctx.step_seconds == {}
+
+    def test_scheduler_mode_by_device(self):
+        assert ExecutionContext(device=get_device("genoa")).scheduler_mode() \
+            == SchedulerMode.FAIR
+        assert ExecutionContext(device=get_device("h100")).scheduler_mode() \
+            == SchedulerMode.FAIR
+        assert ExecutionContext(device=get_device("mi300x")).scheduler_mode() \
+            == SchedulerMode.LOCKSTEP
+
+    def test_warp_width_defaults_to_device(self):
+        assert ExecutionContext(device=get_device("mi300x")).warp_width == 64
+        assert ExecutionContext(device=get_device("h100")).warp_width == 32
+
+    def test_machine_lazy_attr_error(self):
+        import repro.machine as machine
+
+        with pytest.raises(AttributeError):
+            machine.no_such_symbol

@@ -1,0 +1,164 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.physics.diagnostics import energy_report, momentum
+from repro.physics.gravity import GravityParams, pairwise_accelerations
+from repro.workloads import (
+    SOLAR_GM,
+    galaxy_collision,
+    plummer_sphere,
+    solar_system,
+    uniform_cube,
+)
+from repro.workloads.solar import SOLAR_GRAVITY, _solve_kepler
+
+
+class TestPlummer:
+    def test_deterministic(self):
+        a = plummer_sphere(100, seed=5)
+        b = plummer_sphere(100, seed=5)
+        assert np.array_equal(a.x, b.x) and np.array_equal(a.v, b.v)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(plummer_sphere(50, seed=1).x,
+                                  plummer_sphere(50, seed=2).x)
+
+    def test_total_mass(self):
+        s = plummer_sphere(123, total_mass=7.5)
+        assert s.total_mass == pytest.approx(7.5)
+
+    def test_com_frame(self):
+        s = plummer_sphere(500, seed=3)
+        assert np.allclose((s.m[:, None] * s.x).sum(0), 0, atol=1e-10)
+        assert np.allclose(momentum(s), 0, atol=1e-10)
+
+    def test_virial_equilibrium(self):
+        """2T/|U| ~ 1 for a relaxed Plummer sphere."""
+        s = plummer_sphere(3000, seed=0)
+        r = energy_report(s)
+        assert 0.85 < 2 * r.kinetic / abs(r.potential) < 1.15
+
+    def test_half_mass_radius(self):
+        """Plummer half-mass radius is ~1.30 scale radii."""
+        s = plummer_sphere(5000, seed=1, scale_radius=2.0)
+        r = np.sort(np.linalg.norm(s.x, axis=1))
+        assert r[len(r) // 2] == pytest.approx(1.305 * 2.0, rel=0.1)
+
+    def test_speeds_below_escape(self):
+        s = plummer_sphere(2000, seed=4)
+        r2 = (s.x**2).sum(1)
+        v_esc = np.sqrt(2.0) * (r2 + 1.0) ** -0.25
+        assert (np.linalg.norm(s.v, axis=1) <= v_esc + 1e-12).all()
+
+    def test_zero_bodies(self):
+        assert plummer_sphere(0).n == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            plummer_sphere(10, dim=2)
+
+
+class TestGalaxy:
+    def test_deterministic(self):
+        assert np.array_equal(galaxy_collision(200, seed=9).x,
+                              galaxy_collision(200, seed=9).x)
+
+    def test_body_count(self):
+        assert galaxy_collision(1001).n == 1001
+
+    def test_two_clusters_separated(self):
+        s = galaxy_collision(400, separation=10.0)
+        # bimodal in x: roughly half on each side
+        left = (s.x[:, 0] < 0).sum()
+        assert 100 < left < 300
+
+    def test_approaching(self):
+        s = galaxy_collision(400, separation=8.0, approach_speed=1.0)
+        left = s.x[:, 0] < 0
+        assert s.v[left, 0].mean() > 0 > s.v[~left, 0].mean()
+
+    def test_com_frame(self):
+        s = galaxy_collision(300, seed=1)
+        assert np.allclose(momentum(s), 0, atol=1e-10)
+
+    def test_mass_ratio(self):
+        s = galaxy_collision(300, mass_ratio=2.0)
+        assert s.total_mass == pytest.approx(3.0, rel=0.05)
+
+    def test_too_few_bodies(self):
+        with pytest.raises(ValueError):
+            galaxy_collision(1)
+
+
+class TestUniform:
+    def test_in_cube(self):
+        s = uniform_cube(500, side=2.5, seed=0)
+        assert (s.x >= 0).all() and (s.x <= 2.5).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(uniform_cube(64, seed=3).x, uniform_cube(64, seed=3).x)
+
+    def test_unequal_masses(self):
+        s = uniform_cube(100, equal_mass=False)
+        assert len(np.unique(s.m)) > 1
+
+    def test_2d(self):
+        assert uniform_cube(10, dim=2).dim == 2
+
+
+class TestSolar:
+    def test_kepler_solver(self):
+        e = np.full(100, 0.3)
+        M = np.linspace(0, 2 * np.pi, 100)
+        E = _solve_kepler(M, e)
+        assert np.allclose(E - e * np.sin(E), M, atol=1e-12)
+
+    def test_sun_is_body_zero(self):
+        s = solar_system(100)
+        assert s.m[0] == 1.0
+        assert np.all(s.x[0] == 0.0)
+        assert (s.m[1:] < 1e-9).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(solar_system(50, seed=7).x, solar_system(50, seed=7).x)
+
+    def test_orbits_bound_and_belt_like(self):
+        s = solar_system(2000)
+        r = np.linalg.norm(s.x[1:], axis=1)
+        assert (r > 0.5).all() and (r < 8.0).all()
+        assert 1.5 < np.median(r) < 4.0
+
+    def test_orbital_speeds_keplerian(self):
+        """Specific orbital energy -mu/(2a) => v^2 = mu (2/r - 1/a)."""
+        s = solar_system(500)
+        r = np.linalg.norm(s.x[1:], axis=1)
+        v2 = (s.v[1:] ** 2).sum(1)
+        # vis-viva with a in [1.8, 4.5]
+        a_implied = 1.0 / (2.0 / r - v2 / SOLAR_GM)
+        assert (a_implied > 1.7).all() and (a_implied < 4.6).all()
+
+    def test_one_year_circular_orbit(self):
+        """Check units: a 1 AU circular orbit closes in ~365.25 days."""
+        from repro.physics.bodies import BodySystem
+        from repro.physics.integrator import VerletIntegrator
+
+        x = np.array([[0.0, 0, 0], [1.0, 0, 0]])
+        v = np.array([[0.0, 0, 0], [0.0, np.sqrt(SOLAR_GM), 0]])
+        m = np.array([1.0, 1e-12])
+        s = BodySystem(x, v, m)
+        integ = VerletIntegrator(
+            s, lambda sy: pairwise_accelerations(sy.x, sy.m, SOLAR_GRAVITY),
+            dt=0.25,
+        )
+        integ.step(1461)  # 365.25 days
+        assert np.allclose(s.x[1], [1.0, 0, 0], atol=2e-2)
+
+    def test_without_sun(self):
+        s = solar_system(100, include_sun=False)
+        assert s.n == 100 and (s.m < 1e-9).all()
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            solar_system(0)
