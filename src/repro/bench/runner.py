@@ -57,7 +57,7 @@ def measure_pipeline(
     base = config if config is not None else SimulationConfig()
     cfg = base.with_(algorithm=algorithm, simt_width=simt_width)
     quadratic = algorithm.startswith("all-pairs")
-    cap = min(max_direct, 20_000 if quadratic else max_direct)
+    cap = min(max_direct, 20_000) if quadratic else max_direct
 
     if n <= cap:
         counters, wall = _run_once(make_system, n, cfg, steps)
@@ -101,7 +101,6 @@ def project_throughput(
     missing bars: Octree / All-Pairs-Col on AMD and Intel GPUs).
     """
     from repro.core.algorithms import get_algorithm
-    from repro.stdpar.progress import ForwardProgress
 
     alg = get_algorithm(run.algorithm)
     if not device.progress.satisfies(alg.required_progress):

@@ -19,13 +19,28 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bvh.build import BVH
-from repro.bvh.layout import DONE
+from repro.bvh.layout import DONE, bvh_dfs_ranks
 from repro.machine.counters import Counters
 from repro.physics.gravity import (
     FLOPS_PER_INTERACTION,
     GravityParams,
     SPECIAL_PER_INTERACTION,
 )
+from repro.physics.multipole import (
+    QUAD_EXTRA_BYTES,
+    QUAD_EXTRA_FLOPS,
+    quadrupole_accel,
+)
+from repro.traversal.engine import (
+    KLASS_INTERNAL,
+    KLASS_POINT,
+    KLASS_SKIP,
+    TreeView,
+    account_grouped_force,
+    build_interaction_lists,
+    evaluate_interaction_lists,
+)
+from repro.traversal.groups import make_groups
 from repro.types import FLOAT, INDEX
 
 #: Bytes per node visit: bbox (2 * dim * 8) + com (dim * 8) + mass (8);
@@ -86,8 +101,6 @@ def bvh_accelerations(
             if quad is not None:
                 q_rows = accept[contrib]
                 if q_rows.any():
-                    from repro.physics.multipole import quadrupole_accel
-
                     sel = np.nonzero(contrib)[0][q_rows]
                     acc[act[sel]] += quadrupole_accel(
                         dvec[sel], r2[sel] + eps2, quad[nd[sel]], G
@@ -138,8 +151,6 @@ def bvh_accelerations_scalar(
                 if r2f > 0.0 and bvh.mass[node] > 0.0:
                     acc[i] += params.G * bvh.mass[node] * r2f**-1.5 * dvec
                     if accept and bvh.quad is not None:
-                        from repro.physics.multipole import quadrupole_accel
-
                         acc[i] += quadrupole_accel(
                             dvec[None], np.array([r2f]),
                             bvh.quad[node][None], params.G,
@@ -158,8 +169,6 @@ def _account_force(
     counters: Counters,
     quad_terms: int = 0,
 ) -> None:
-    from repro.physics.multipole import QUAD_EXTRA_BYTES, QUAD_EXTRA_FLOPS
-
     total = float(steps.sum())
     n = steps.shape[0]
     pad = (-n) % simt_width
@@ -179,3 +188,98 @@ def _account_force(
         loop_iterations=float(n),
         kernel_launches=1.0,
     )
+
+
+# ----------------------------------------------------------------------
+# Group-coherent traversal (one walk per leaf-aligned group of the
+# already-Hilbert-sorted bodies).
+# ----------------------------------------------------------------------
+
+def _bvh_tree_view(bvh: BVH) -> TreeView:
+    """Flat traversal-engine view of the BVH."""
+    layout = bvh.layout
+    nn = layout.n_nodes
+    first_leaf = layout.first_leaf
+    nodes = np.arange(nn, dtype=INDEX)
+    leaf = nodes >= first_leaf
+    klass = np.full(nn, KLASS_INTERNAL, dtype=np.int8)
+    klass[leaf] = KLASS_POINT
+    klass[bvh.count == 0] = KLASS_SKIP  # padding leaves / empty subtrees
+    point_body = np.full(nn, -1, dtype=INDEX)
+    occupied = leaf & (bvh.count > 0)
+    point_body[occupied] = nodes[occupied] - first_leaf  # sorted row id
+    dim = bvh.x_sorted.shape[1]
+    return TreeView(
+        com=bvh.com,
+        mass=bvh.mass,
+        size2=bvh.node_size2(),
+        first_child=2 * nodes + 1,
+        branch=2,
+        klass=klass,
+        point_body=point_body,
+        dfs_rank=bvh_dfs_ranks(layout.n_leaves),
+        quad=bvh.quad,
+        visit_bytes=_visit_bytes(dim),
+    )
+
+
+def bvh_accelerations_grouped(
+    bvh: BVH,
+    params: GravityParams = GravityParams(),
+    *,
+    theta: float = 0.5,
+    group_size: int = 32,
+    ctx=None,
+    simt_width: int = 32,
+    cache: dict | None = None,
+    eval_mode: str = "auto",
+) -> np.ndarray:
+    """BVH accelerations via group-coherent traversal.
+
+    The BVH's leaf order *is* the Hilbert order, so contiguous groups of
+    sorted bodies are leaf-aligned by construction.  The stackless walk
+    runs once per group with the conservative group MAC; the emitted
+    interaction lists are evaluated as dense tiles and, when *cache* (a
+    structure-cache entry dict) is given, reused across timesteps for as
+    long as the cached sort permutation is.
+
+    At ``group_size=1`` (monopole order) the result is bit-identical to
+    :func:`bvh_accelerations`.
+    """
+    n = bvh.n_bodies
+    dim = bvh.x_sorted.shape[1]
+    if n == 0:
+        return np.zeros((0, dim), dtype=FLOAT)
+
+    key = ("ilists", float(theta), int(group_size))
+    cached = cache.get(key) if cache is not None else None
+    built = cached is None or cached["groups"].n_bodies != n
+    view = _bvh_tree_view(bvh)
+    if built:
+        groups = make_groups(bvh.x_sorted, group_size)
+        lists = build_interaction_lists(view, groups, theta)
+        cached = {"groups": groups, "lists": lists}
+        if cache is not None:
+            cache[key] = cached
+    groups = cached["groups"]
+    lists = cached["lists"]
+
+    # point_body ids are sorted rows, so the default identity body_ids
+    # already matches and the gemm kernel can zero self-interactions.
+    acc_s, stats = evaluate_interaction_lists(
+        view, lists, groups, bvh.x_sorted,
+        G=params.G, eps2=params.eps2, mode=eval_mode,
+    )
+
+    if ctx is not None:
+        account_grouped_force(
+            ctx.counters, lists, groups,
+            n_bodies=n, dim=dim, simt_width=simt_width,
+            pairs=stats["pairs"], quad_terms=stats["quad_terms"],
+            visit_bytes=view.visit_bytes, built=built,
+            flops_per_visit=10.0,
+        )
+
+    out = np.empty_like(acc_s)
+    out[bvh.perm] = acc_s
+    return out

@@ -71,6 +71,27 @@ class BVHLayout:
 
 
 @lru_cache(maxsize=64)
+def bvh_dfs_ranks(n_leaves: int) -> np.ndarray:
+    """DFS-preorder rank of every node (cached per tree shape).
+
+    Used by the grouped traversal to order interaction-list entries the
+    way the stackless per-node walk emits them.
+    """
+    layout = BVHLayout(n_leaves)
+    rank = np.zeros(layout.n_nodes, dtype=INDEX)
+    for level in range(layout.n_levels - 1):
+        sl = layout.level_slice(level)
+        k = np.arange(sl.start, sl.stop, dtype=INDEX)
+        # A subtree rooted one level down holds 2^(n_levels-1-level) - 1
+        # nodes; the right child's rank skips the whole left subtree.
+        left_size = (1 << (layout.n_levels - 1 - level)) - 1
+        rank[2 * k + 1] = rank[k] + 1
+        rank[2 * k + 2] = rank[k] + 1 + left_size
+    rank.setflags(write=False)
+    return rank
+
+
+@lru_cache(maxsize=64)
 def bvh_escape_indices(n_leaves: int) -> np.ndarray:
     """Skip-list escape index per node (cached per tree shape).
 

@@ -50,7 +50,8 @@ def _cmd_run(args) -> int:
     gravity = SOLAR_GRAVITY if args.workload == "solar" else GravityParams(softening=0.05)
     system = _make_system(args)
     cfg = SimulationConfig(algorithm=args.algorithm, theta=args.theta,
-                           dt=args.dt, gravity=gravity)
+                           dt=args.dt, gravity=gravity,
+                           traversal=args.traversal, group_size=args.group_size)
     e0 = energy_report(system, gravity) if system.n <= 20_000 else None
     sim = Simulation(system, cfg)
     rep = sim.run(args.steps)
@@ -150,6 +151,11 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(p)
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--dt", type=float, default=1e-3)
+    p.add_argument("--traversal", default="lockstep",
+                   choices=["lockstep", "grouped"],
+                   help="force traversal: per-body lockstep or group-coherent")
+    p.add_argument("--group-size", type=int, default=32, dest="group_size",
+                   help="bodies per traversal group (grouped mode)")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("devices", help="list the device catalog")

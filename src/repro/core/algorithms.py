@@ -154,7 +154,10 @@ class OctreeAlgorithm(ForceAlgorithm):
     def accelerations(self, system, config, ctx, cache=None):
         from repro.octree.build_concurrent import build_octree_concurrent
         from repro.octree.build_vectorized import build_octree_vectorized
-        from repro.octree.force import octree_accelerations
+        from repro.octree.force import (
+            octree_accelerations,
+            octree_accelerations_grouped,
+        )
         from repro.octree.multipoles import (
             compute_multipoles_concurrent,
             compute_multipoles_vectorized,
@@ -167,7 +170,8 @@ class OctreeAlgorithm(ForceAlgorithm):
                     f"device {ctx.device.name!r} provides only "
                     f"{ctx.device.progress.name} (paper Section V-B: hangs)"
                 )
-        pool = _cached_structure(cache, "octree", config)
+        entry = _cache_entry(cache, "octree", config)
+        pool = None if entry is None else entry["structure"]
         if pool is None:
             box = self._bounding_box(system, ctx)
             with ctx.step("build_tree"):
@@ -179,7 +183,7 @@ class OctreeAlgorithm(ForceAlgorithm):
                     pool = build_octree_vectorized(
                         system.x, bits=config.bits, box=box, ctx=ctx
                     )
-            _store_structure(cache, "octree", pool)
+            entry = _store_structure(cache, "octree", pool)
         with ctx.step("multipoles"):
             if ctx.backend == "reference":
                 compute_multipoles_concurrent(pool, system.x, system.m, ctx,
@@ -188,6 +192,12 @@ class OctreeAlgorithm(ForceAlgorithm):
                 compute_multipoles_vectorized(pool, system.x, system.m, ctx,
                                               order=config.multipole_order)
         with ctx.step("force"):
+            if config.traversal == "grouped":
+                return octree_accelerations_grouped(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                )
             return octree_accelerations(
                 pool, system.x, system.m, config.gravity,
                 theta=config.theta, ctx=ctx, simt_width=config.simt_width,
@@ -204,11 +214,11 @@ class BVHAlgorithm(ForceAlgorithm):
 
     def accelerations(self, system, config, ctx, cache=None):
         from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
-        from repro.bvh.force import bvh_accelerations
+        from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
 
-        cached = _cached_structure(cache, "bvh", config)
-        if cached is not None:
-            perm, box = cached
+        entry = _cache_entry(cache, "bvh", config)
+        if entry is not None:
+            perm, box = entry["structure"]
         else:
             box = self._bounding_box(system, ctx)
             # HILBERTSORT and the fused build are separate steps so
@@ -217,11 +227,17 @@ class BVHAlgorithm(ForceAlgorithm):
                 perm = hilbert_sort_permutation(
                     system.x, box, bits=config.bits, ctx=ctx, curve=config.curve
                 )
-            _store_structure(cache, "bvh", (perm, box))
+            entry = _store_structure(cache, "bvh", (perm, box))
         with ctx.step("build_tree"):
             bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
                                order=config.multipole_order)
         with ctx.step("force"):
+            if config.traversal == "grouped":
+                return bvh_accelerations_grouped(
+                    bvh, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                )
             return bvh_accelerations(
                 bvh, config.gravity,
                 theta=config.theta, ctx=ctx, simt_width=config.simt_width,
@@ -245,43 +261,61 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
 
     def accelerations(self, system, config, ctx, cache=None):
         from repro.octree.build_twostage import build_octree_twostage
-        from repro.octree.force import octree_accelerations
+        from repro.octree.force import (
+            octree_accelerations,
+            octree_accelerations_grouped,
+        )
         from repro.octree.multipoles import compute_multipoles_vectorized
 
-        pool = _cached_structure(cache, "octree-2stage", config)
+        entry = _cache_entry(cache, "octree-2stage", config)
+        pool = None if entry is None else entry["structure"]
         if pool is None:
             box = self._bounding_box(system, ctx)
             with ctx.step("build_tree"):
                 pool = build_octree_twostage(
                     system.x, bits=config.bits, box=box, ctx=ctx
                 )
-            _store_structure(cache, "octree-2stage", pool)
+            entry = _store_structure(cache, "octree-2stage", pool)
         with ctx.step("multipoles"):
             compute_multipoles_vectorized(
                 pool, system.x, system.m, ctx,
                 order=config.multipole_order, account="levelwise",
             )
         with ctx.step("force"):
+            if config.traversal == "grouped":
+                return octree_accelerations_grouped(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                )
             return octree_accelerations(
                 pool, system.x, system.m, config.gravity,
                 theta=config.theta, ctx=ctx, simt_width=config.simt_width,
             )
 
 
-def _cached_structure(cache: dict | None, key: str, config: SimulationConfig):
-    """Return the cached tree structure if it is still fresh enough."""
+def _cache_entry(cache: dict | None, key: str, config: SimulationConfig) -> dict | None:
+    """Return the cache entry if its tree structure is still fresh enough.
+
+    The entry dict also carries per-structure derived state (the grouped
+    traversal stores its interaction lists in it), which therefore
+    expires exactly when the structure does.
+    """
     if cache is None or config.tree_reuse_steps <= 1:
         return None
     entry = cache.get(key)
     if entry is None or entry["age"] >= config.tree_reuse_steps:
         return None
     entry["age"] += 1
-    return entry["structure"]
+    return entry
 
 
-def _store_structure(cache: dict | None, key: str, structure) -> None:
-    if cache is not None:
-        cache[key] = {"structure": structure, "age": 1}
+def _store_structure(cache: dict | None, key: str, structure) -> dict | None:
+    if cache is None:
+        return None
+    entry = {"structure": structure, "age": 1}
+    cache[key] = entry
+    return entry
 
 
 ALGORITHMS: dict[str, ForceAlgorithm] = {

@@ -44,6 +44,15 @@ class SimulationConfig:
     #: notes "can be applied to any Barnes-Hut implementation".  1 =
     #: rebuild every step (the paper's configuration).
     tree_reuse_steps: int = 1
+    #: Force-traversal strategy for the tree algorithms: ``"lockstep"``
+    #: walks the tree once per body (paper Fig. 3); ``"grouped"`` walks
+    #: once per Hilbert-contiguous body group with a conservative group
+    #: MAC, evaluates the emitted interaction lists as dense tiles, and
+    #: reuses the lists alongside the ``tree_reuse_steps`` cache.
+    traversal: str = "lockstep"
+    #: Bodies per group for ``traversal="grouped"``.  ``group_size=1``
+    #: reproduces the lockstep walk bit for bit (at monopole order).
+    group_size: int = 32
     #: SIMT width used for the divergence statistics of the lockstep
     #: force kernels (matches the warp width of the modeled GPU).
     simt_width: int = 32
@@ -69,6 +78,10 @@ class SimulationConfig:
             raise ConfigurationError("multipole_order must be 1 or 2")
         if not isinstance(self.tree_reuse_steps, int) or self.tree_reuse_steps < 1:
             raise ConfigurationError("tree_reuse_steps must be an integer >= 1")
+        if self.traversal not in ("lockstep", "grouped"):
+            raise ConfigurationError("traversal must be 'lockstep' or 'grouped'")
+        if not isinstance(self.group_size, int) or self.group_size < 1:
+            raise ConfigurationError("group_size must be an integer >= 1")
         if self.simt_width < 1:
             raise ConfigurationError("simt_width must be >= 1")
 

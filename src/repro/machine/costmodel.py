@@ -142,6 +142,12 @@ class CostModel:
             + div * numa * c.bytes_irregular
             / (bw * irr_frac * traversal_eff * 1e9)
         )
+        # Grouped traversal: the interaction lists make one memory
+        # round-trip — written once by the (warp-synchronous, so
+        # divergence-free) build walk and re-read coalesced by the dense
+        # tile evaluation; 8-byte entries, streaming on both passes.
+        if c.interaction_list_size > 0:
+            memory += 2.0 * 8.0 * c.interaction_list_size / (bw * 1e9)
 
         if self.sequential:
             # A single thread pays no coherence traffic: atomics retire

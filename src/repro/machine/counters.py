@@ -56,6 +56,16 @@ class Counters:
     #: (max steps in warp) * (warp width).  What a SIMT device actually
     #: executes; equals ``traversal_steps`` when there is no divergence.
     warp_traversal_steps: float = 0.0
+    #: Grouped traversal: total interaction-list entries emitted (the
+    #: lists make one memory round-trip — written by the build walk,
+    #: re-read by the evaluation).
+    interaction_list_size: float = 0.0
+    #: Grouped traversal: node visits of the list-*building* walks (one
+    #: walk per body group; warp-synchronous by construction).
+    list_build_steps: float = 0.0
+    #: Grouped traversal: body-node pairs evaluated from the lists (the
+    #: dense tile work, including padding entries of partial groups).
+    list_eval_interactions: float = 0.0
     #: Number of parallel-algorithm invocations (kernel launches).
     kernel_launches: float = 0.0
     #: Number of scheduler preemptions / lock retries observed (only

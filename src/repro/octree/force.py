@@ -21,14 +21,33 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.geometry.aabb import quantize_to_grid
+from repro.geometry.hilbert import hilbert_encode
+from repro.geometry.morton import MAX_BITS_2D, MAX_BITS_3D
 from repro.machine.counters import Counters
-from repro.octree.layout import OctreePool
+from repro.octree.layout import _BODY_BASE, OctreePool
 from repro.octree.traversal import DONE, compute_escape_indices
 from repro.physics.gravity import (
     FLOPS_PER_INTERACTION,
     GravityParams,
     SPECIAL_PER_INTERACTION,
 )
+from repro.physics.multipole import (
+    QUAD_EXTRA_BYTES,
+    QUAD_EXTRA_FLOPS,
+    quadrupole_accel,
+)
+from repro.traversal.engine import (
+    KLASS_EXACT,
+    KLASS_INTERNAL,
+    KLASS_POINT,
+    KLASS_SKIP,
+    TreeView,
+    account_grouped_force,
+    build_interaction_lists,
+    evaluate_interaction_lists,
+)
+from repro.traversal.groups import make_groups
 from repro.types import FLOAT, INDEX
 
 #: Bytes touched per node visit: child word (8) + centre of mass
@@ -104,8 +123,6 @@ def octree_accelerations(
                 # monopoles are exact; their quadrupole is zero).
                 q_rows = accept[contrib]
                 if q_rows.any():
-                    from repro.physics.multipole import quadrupole_accel
-
                     sel = np.nonzero(contrib)[0][q_rows]
                     acc[act[sel]] += quadrupole_accel(
                         dvec[sel], r2[sel] + eps2, quad[nd[sel]], G
@@ -168,8 +185,6 @@ def octree_accelerations_scalar(
                 if r2f > 0.0 and pool.mass[node] > 0.0:
                     acc[i] += params.G * pool.mass[node] * r2f**-1.5 * dvec
                     if accept and pool.quad is not None:
-                        from repro.physics.multipole import quadrupole_accel
-
                         acc[i] += quadrupole_accel(
                             dvec[None], np.array([r2f]),
                             pool.quad[node][None], params.G,
@@ -195,8 +210,6 @@ def _account_force(
     quad_terms: int = 0,
 ) -> None:
     """Charge traversal + interaction work, with exact warp divergence."""
-    from repro.physics.multipole import QUAD_EXTRA_BYTES, QUAD_EXTRA_FLOPS
-
     total = float(steps.sum())
     n = steps.shape[0]
     pad = (-n) % simt_width
@@ -217,3 +230,154 @@ def _account_force(
         loop_iterations=float(n),
         kernel_launches=1.0,
     )
+
+
+# ----------------------------------------------------------------------
+# Group-coherent traversal (one walk per Hilbert-contiguous body group).
+# ----------------------------------------------------------------------
+
+def _hilbert_body_order(x: np.ndarray, box) -> np.ndarray:
+    """Hilbert-curve permutation of the (unsorted) octree bodies."""
+    n, dim = x.shape
+    bits = MAX_BITS_3D if dim == 3 else MAX_BITS_2D
+    keys = hilbert_encode(quantize_to_grid(x, box, bits), bits)
+    return np.argsort(keys, kind="stable")
+
+
+def _octree_dfs_ranks(pool: OctreePool) -> np.ndarray:
+    """DFS-preorder rank of every pool node (level-vectorized)."""
+    nn = pool.n_nodes
+    child = pool.child[:nn]
+    depth = pool.depth[:nn].astype(np.int64)
+    nch = pool.nchild
+    internal = np.nonzero(child >= 0)[0]
+    max_depth = int(depth[internal].max(initial=0))
+    lane = np.arange(nch, dtype=INDEX)
+    # Subtree sizes bottom-up, then child ranks top-down: a child's rank
+    # is its parent's, plus one, plus its earlier siblings' subtrees.
+    size = np.ones(nn, dtype=np.int64)
+    for d in range(max_depth, -1, -1):
+        nodes = internal[depth[internal] == d]
+        if nodes.size:
+            ch = child[nodes][:, None] + lane
+            size[nodes] = 1 + size[ch].sum(axis=1)
+    rank = np.zeros(nn, dtype=np.int64)
+    for d in range(max_depth + 1):
+        nodes = internal[depth[internal] == d]
+        if nodes.size:
+            ch = child[nodes][:, None] + lane
+            sz = size[ch]
+            rank[ch] = rank[nodes][:, None] + 1 + np.cumsum(sz, axis=1) - sz
+    return rank
+
+
+def _octree_tree_view(pool: OctreePool) -> TreeView:
+    """Flat traversal-engine view of the pool."""
+    nn = pool.n_nodes
+    child = pool.child[:nn]
+    count = pool.count[:nn]
+    internal = child >= 0
+    leaf = ~internal
+    klass = np.full(nn, KLASS_SKIP, dtype=np.int8)  # empty leaves skip
+    klass[internal] = KLASS_INTERNAL
+    point = leaf & (count == 1)
+    klass[point] = KLASS_POINT
+    klass[leaf & (count > 1)] = KLASS_EXACT
+    point_body = np.full(nn, -1, dtype=INDEX)
+    point_body[point] = -child[point] - _BODY_BASE  # decode_body, batched
+    return TreeView(
+        com=pool.com,
+        mass=pool.mass[:nn],
+        size2=pool.node_side(pool.depth[:nn]) ** 2,
+        first_child=child,
+        branch=pool.nchild,
+        klass=klass,
+        point_body=point_body,
+        dfs_rank=_octree_dfs_ranks(pool),
+        quad=pool.quad,
+        visit_bytes=_VISIT_BYTES_3D if pool.dim == 3 else 42.0,
+    )
+
+
+def octree_accelerations_grouped(
+    pool: OctreePool,
+    x: np.ndarray,
+    m: np.ndarray,
+    params: GravityParams = GravityParams(),
+    *,
+    theta: float = 0.5,
+    group_size: int = 32,
+    ctx=None,
+    simt_width: int = 32,
+    cache: dict | None = None,
+    eval_mode: str = "auto",
+) -> np.ndarray:
+    """Barnes-Hut accelerations via group-coherent traversal.
+
+    Bodies are Hilbert-sorted and partitioned into contiguous groups of
+    *group_size*; the stackless walk runs once per group with the
+    conservative group MAC and emits an interaction list, which is then
+    evaluated as dense ``group x node`` tiles.  *cache*, when given, is
+    the structure-cache entry dict: the lists (and the Hilbert
+    permutation) are stored in it and reused across timesteps for as
+    long as the tree structure itself is, then rebuilt with it.
+
+    At ``group_size=1`` (monopole order) the result is bit-identical to
+    :func:`octree_accelerations`.
+    """
+    _prepare(pool)
+    x = np.asarray(x, dtype=FLOAT)
+    n, dim = x.shape
+    if n == 0 or pool.n_nodes == 0:
+        return np.zeros((n, dim), dtype=FLOAT)
+
+    key = ("ilists", float(theta), int(group_size))
+    cached = cache.get(key) if cache is not None else None
+    built = cached is None or cached["perm"].shape[0] != n
+    view = _octree_tree_view(pool)
+    if built:
+        perm = _hilbert_body_order(x, pool.box)
+        groups = make_groups(x[perm], group_size)
+        lists = build_interaction_lists(view, groups, theta)
+        cached = {"perm": perm, "groups": groups, "lists": lists}
+        if cache is not None:
+            cache[key] = cached
+    perm = cached["perm"]
+    groups = cached["groups"]
+    lists = cached["lists"]
+
+    acc_s, stats = evaluate_interaction_lists(
+        view, lists, groups, x[perm],
+        G=params.G, eps2=params.eps2, body_ids=perm, mode=eval_mode,
+    )
+
+    # Exact expansion of bucket leaves (same scalar math as lockstep).
+    pairs = stats["pairs"]
+    eps2 = params.eps2
+    G = params.G
+    go = groups.offsets
+    for g, node in zip(lists.exact_groups, lists.exact_nodes):
+        bodies = pool.leaf_bodies(int(node))
+        for row in range(int(go[g]), int(go[g + 1])):
+            i = int(perm[row])
+            for b in bodies:
+                if b == i:
+                    continue
+                d = x[b] - x[i]
+                r2b = float(d @ d) + eps2
+                if r2b > 0.0:
+                    acc_s[row] += G * m[b] * r2b**-1.5 * d
+                    pairs += 1
+
+    if ctx is not None:
+        account_grouped_force(
+            ctx.counters, lists, groups,
+            n_bodies=n, dim=dim, simt_width=simt_width,
+            pairs=pairs, quad_terms=stats["quad_terms"],
+            visit_bytes=view.visit_bytes, built=built,
+            sort_comparisons=float(n) * float(np.log2(max(n, 2))) if built else 0.0,
+        )
+
+    out = np.empty_like(acc_s)
+    out[perm] = acc_s
+    return out

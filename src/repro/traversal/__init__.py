@@ -1,0 +1,48 @@
+"""Group-coherent force traversal with cached interaction lists.
+
+The paper's force kernels walk the tree once per body.  Production GPU
+tree codes (Bonsai; Tokuue & Ishiyama's many-core code) amortize that
+walk across a warp: bodies are partitioned into spatially-coherent
+groups, the stackless walk runs once per group against the group's
+bounding box, and the resulting *interaction list* is evaluated as a
+dense ``group x node`` tile.  This package supplies that engine for
+both tree strategies (octree and Hilbert BVH):
+
+* :mod:`repro.traversal.groups` — Hilbert-contiguous body grouping and
+  per-group AABBs;
+* :mod:`repro.traversal.engine` — the generic list-building walk
+  (conservative group MAC), the dense tile evaluator, and the grouped
+  counter accounting.
+
+At ``group_size=1`` the group AABB degenerates to the body's position,
+the conservative MAC coincides with the per-body criterion, and the
+evaluation reproduces the lockstep kernels bit for bit (at monopole
+order) — the property the tests pin down.
+"""
+
+from repro.traversal.engine import (
+    KLASS_EXACT,
+    KLASS_INTERNAL,
+    KLASS_POINT,
+    KLASS_SKIP,
+    InteractionLists,
+    TreeView,
+    account_grouped_force,
+    build_interaction_lists,
+    evaluate_interaction_lists,
+)
+from repro.traversal.groups import BodyGroups, make_groups
+
+__all__ = [
+    "BodyGroups",
+    "InteractionLists",
+    "TreeView",
+    "KLASS_EXACT",
+    "KLASS_INTERNAL",
+    "KLASS_POINT",
+    "KLASS_SKIP",
+    "account_grouped_force",
+    "build_interaction_lists",
+    "evaluate_interaction_lists",
+    "make_groups",
+]

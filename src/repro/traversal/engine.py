@@ -1,0 +1,389 @@
+"""Generic group-coherent traversal engine (list build + tile eval).
+
+The engine sees a tree only through a :class:`TreeView`: flat per-node
+arrays (centre of mass, mass, squared MAC extent, stackless escape /
+open pointers) plus a per-node *class*:
+
+* ``KLASS_INTERNAL`` — test the MAC; accept (emit) or open;
+* ``KLASS_POINT``    — leaf whose monopole is the exact interaction
+  (single-body leaves in both trees); always emitted;
+* ``KLASS_EXACT``    — leaf that must be expanded body by body (octree
+  bucket leaves); recorded separately for the caller to expand;
+* ``KLASS_SKIP``     — contributes nothing (empty nodes); the subtree
+  is skipped without emitting.
+
+**List build** walks the tree once per group with the *conservative*
+group MAC: a node is accepted only if ``size^2 < theta^2 * dmin^2``
+where ``dmin`` is the distance from the node's centre of mass to the
+nearest point of the group's AABB.  Every member body is at least
+``dmin`` away, so group acceptance implies per-body acceptance — the
+grouped traversal only ever *opens more* nodes than the per-body walk,
+keeping the theta-controlled error bound.  At ``group_size=1`` the AABB
+is the body itself and ``dmin`` equals the per-body distance bit for
+bit, so the walk visits exactly the per-body node set.
+
+The walk is executed as a level-synchronous frontier sweep over all
+groups at once (depth-many vectorized rounds rather than
+walk-length-many), which is how the build stays fast in numpy.  Since
+the accept/open decision at a node depends only on the node and the
+group box — never on visit order — the visited set equals the stackless
+DFS walk's; each group's emissions are then sorted by the nodes'
+precomputed DFS-preorder rank, recovering the exact per-body DFS
+emission order the lockstep kernels accumulate in.
+
+**Evaluation** turns each group's list into a dense ``group x node``
+tile.  Two tile kernels are provided:
+
+* ``tile`` — forms ``dvec = com - x`` explicitly and reduces the
+  contributions sequentially along the (strided) list axis, which makes
+  it bit-compatible with the per-body lockstep kernels' accumulation
+  order; used at ``group_size=1`` where exact equality is the contract.
+* ``gemm`` — rewrites ``sum_k w_k (com_k - x)`` as
+  ``w @ com - (sum_k w_k) x`` so the hot reduction is a BLAS matmul;
+  self-interactions (a body's own leaf in the list) are explicitly
+  zeroed because the expanded form would otherwise difference two huge
+  near-equal products.  This is the production path for real groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.counters import Counters
+from repro.physics.gravity import FLOPS_PER_INTERACTION, SPECIAL_PER_INTERACTION
+from repro.physics.multipole import (
+    QUAD_EXTRA_BYTES,
+    QUAD_EXTRA_FLOPS,
+    quadrupole_accel,
+)
+from repro.traversal.groups import BodyGroups
+from repro.types import FLOAT, INDEX
+
+KLASS_INTERNAL = 0
+KLASS_POINT = 1
+KLASS_EXACT = 2
+KLASS_SKIP = 3
+
+
+@dataclass(frozen=True)
+class TreeView:
+    """The per-node arrays the engine needs, independent of tree type."""
+
+    com: np.ndarray          # (n_nodes, dim) centres of mass
+    mass: np.ndarray         # (n_nodes,)
+    size2: np.ndarray        # (n_nodes,) squared extent entering the MAC
+    first_child: np.ndarray  # (n_nodes,) first child of each internal node
+    #: Children per internal node (contiguous from ``first_child``):
+    #: 2^dim for the octree, 2 for the BVH.
+    branch: int
+    klass: np.ndarray        # (n_nodes,) KLASS_* codes
+    #: Body id of each KLASS_POINT leaf (-1 elsewhere), in the id space
+    #: the evaluator's ``body_ids`` uses; lets the gemm kernel zero
+    #: self-interactions.
+    point_body: np.ndarray
+    #: DFS-preorder rank of every node — orders each group's emissions
+    #: the way the stackless per-body walk would emit them.
+    dfs_rank: np.ndarray
+    quad: np.ndarray | None = None   # (n_nodes, 3, 3) at multipole order 2
+    #: Bytes touched per node visit of the list-building walk.
+    visit_bytes: float = 50.0
+
+
+@dataclass
+class InteractionLists:
+    """Per-group interaction lists, each in DFS visit order (CSR)."""
+
+    offsets: np.ndarray       # (n_groups + 1,) into nodes/approx
+    nodes: np.ndarray         # (n_entries,) emitted node ids
+    #: True where the entry is an accepted internal node (the "approx"
+    #: list); False where it is a direct leaf.
+    approx: np.ndarray
+    exact_groups: np.ndarray  # (n_exact,) group of each bucket hit
+    exact_nodes: np.ndarray   # (n_exact,) bucket leaf node ids
+    steps: np.ndarray         # (n_groups,) walk length per group
+    theta: float
+
+    @property
+    def n_groups(self) -> int:
+        return self.offsets.shape[0] - 1
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.nodes.shape[0])
+
+    @property
+    def n_approx(self) -> int:
+        return int(np.count_nonzero(self.approx))
+
+    def group_entries(self, g: int) -> slice:
+        return slice(int(self.offsets[g]), int(self.offsets[g + 1]))
+
+    def approx_nodes(self, g: int) -> np.ndarray:
+        """Accepted (monopole/multipole) nodes of group *g*."""
+        sl = self.group_entries(g)
+        return self.nodes[sl][self.approx[sl]]
+
+    def direct_leaves(self, g: int) -> np.ndarray:
+        """Directly-interacting leaf nodes of group *g*."""
+        sl = self.group_entries(g)
+        return self.nodes[sl][~self.approx[sl]]
+
+
+def build_interaction_lists(
+    view: TreeView, groups: BodyGroups, theta: float
+) -> InteractionLists:
+    """Walk the tree once per group and emit its interaction lists.
+
+    Level-synchronous frontier sweep: every round tests the MAC for all
+    pending (group, node) pairs at once and expands the rejected
+    internal nodes' children into the next frontier, so the Python loop
+    runs depth-many rounds.  Emissions are sorted per group by DFS
+    rank afterwards, which reproduces the stackless walk's order.
+    """
+    ng = groups.n_groups
+    theta2 = theta * theta
+    steps = np.zeros(ng, dtype=np.int64)
+    empty_idx = np.empty(0, dtype=INDEX)
+    if ng == 0:
+        return InteractionLists(
+            np.zeros(1, dtype=INDEX), empty_idx, np.empty(0, dtype=bool),
+            empty_idx, empty_idx, steps, theta,
+        )
+
+    klass = view.klass
+    size2 = view.size2
+    com = view.com
+    first_child = view.first_child
+    branch = view.branch
+    glo = groups.lo
+    ghi = groups.hi
+
+    rows_g: list[np.ndarray] = []
+    rows_nd: list[np.ndarray] = []
+    rows_ap: list[np.ndarray] = []
+    ex_g: list[np.ndarray] = []
+    ex_nd: list[np.ndarray] = []
+
+    g = np.arange(ng, dtype=INDEX)
+    nd = np.zeros(ng, dtype=INDEX)
+    while g.size:
+        steps += np.bincount(g, minlength=ng)
+        kl = klass[nd]
+        internal = kl == KLASS_INTERNAL
+        # Distance from the node's com to the nearest point of the
+        # group AABB; for degenerate boxes this is |com - x| exactly,
+        # so the criterion coincides with the per-body MAC.
+        c = com[nd]
+        d = np.maximum(glo[g] - c, 0.0) + np.maximum(c - ghi[g], 0.0)
+        dmin2 = np.einsum("ij,ij->i", d, d)
+        accept = internal & (size2[nd] < theta2 * dmin2)
+        emit = accept | (kl == KLASS_POINT)
+        if emit.any():
+            rows_g.append(g[emit])
+            rows_nd.append(nd[emit])
+            rows_ap.append(accept[emit])
+        exact = kl == KLASS_EXACT
+        if exact.any():
+            ex_g.append(g[exact])
+            ex_nd.append(nd[exact])
+
+        expand = internal & ~accept
+        if not expand.any():
+            break
+        base = first_child[nd[expand]]
+        nd = (base[:, None] + np.arange(branch, dtype=INDEX)).ravel()
+        g = np.repeat(g[expand], branch)
+
+    if rows_g:
+        g_all = np.concatenate(rows_g)
+        nd_all = np.concatenate(rows_nd)
+        # Unique (group, DFS rank) keys; sorting them recovers each
+        # group's stackless-DFS emission order.
+        stride = INDEX(view.dfs_rank.shape[0])
+        order = np.argsort(g_all * stride + view.dfs_rank[nd_all])
+        nodes = nd_all[order]
+        approx = np.concatenate(rows_ap)[order]
+        counts = np.bincount(g_all, minlength=ng)
+    else:
+        nodes = empty_idx
+        approx = np.empty(0, dtype=bool)
+        counts = np.zeros(ng, dtype=np.int64)
+    offsets = np.zeros(ng + 1, dtype=INDEX)
+    np.cumsum(counts, out=offsets[1:])
+
+    if ex_g:
+        eg = np.concatenate(ex_g)
+        en = np.concatenate(ex_nd)
+        order = np.argsort(eg * INDEX(view.dfs_rank.shape[0])
+                           + view.dfs_rank[en])
+        exact_groups, exact_nodes = eg[order], en[order]
+    else:
+        exact_groups = exact_nodes = empty_idx
+    return InteractionLists(offsets, nodes, approx,
+                            exact_groups, exact_nodes, steps, theta)
+
+
+def evaluate_interaction_lists(
+    view: TreeView,
+    lists: InteractionLists,
+    groups: BodyGroups,
+    x_sorted: np.ndarray,
+    *,
+    G: float = 1.0,
+    eps2: float = 0.0,
+    body_ids: np.ndarray | None = None,
+    mode: str = "auto",
+) -> tuple[np.ndarray, dict]:
+    """Dense tile evaluation of the cached lists at current positions.
+
+    Returns accelerations in sorted-row order plus an eval-stats dict
+    (``pairs`` evaluated, nonzero ``interactions``, ``quad_terms``).
+    ``body_ids`` maps sorted rows into ``view.point_body``'s id space
+    (identity when omitted); ``mode`` is ``"tile"`` (bit-compatible
+    sequential reduction), ``"gemm"`` (BLAS), or ``"auto"`` (tile only
+    for the degenerate one-body groups whose contract is exactness).
+    """
+    x_sorted = np.asarray(x_sorted, dtype=FLOAT)
+    n, dim = x_sorted.shape
+    acc = np.zeros((n, dim), dtype=FLOAT)
+    if mode == "auto":
+        mode = "tile" if groups.max_group_size <= 1 else "gemm"
+    if mode not in ("tile", "gemm"):
+        raise ValueError(f"unknown eval mode {mode!r}")
+
+    off = lists.offsets
+    go = groups.offsets
+    com = view.com
+    mass = view.mass
+    quad = view.quad
+    point_body = view.point_body
+    pairs = 0
+    nonzero = 0
+    quad_terms = 0
+
+    for g in range(groups.n_groups):
+        lo_e, hi_e = int(off[g]), int(off[g + 1])
+        if hi_e == lo_e:
+            continue
+        nodes = lists.nodes[lo_e:hi_e]
+        xg = x_sorted[int(go[g]):int(go[g + 1])]
+        b, k = xg.shape[0], nodes.shape[0]
+        cn = com[nodes]
+        mn = mass[nodes]
+
+        if mode == "tile":
+            dvec = cn[None, :, :] - xg[:, None, :]
+            flat = dvec.reshape(-1, dim)
+            r2 = np.einsum("ij,ij->i", flat, flat).reshape(b, k)
+            r2c = r2 + eps2
+            with np.errstate(divide="ignore", invalid="ignore"):
+                w = np.where(r2c > 0.0, G * mn * r2c ** -1.5, 0.0)
+            contrib = w[:, :, None] * dvec
+            if quad is not None:
+                ap = lists.approx[lo_e:hi_e]
+                kq = int(np.count_nonzero(ap))
+                if kq:
+                    dq = dvec[:, ap, :].reshape(-1, dim)
+                    r2q = r2c[:, ap].reshape(-1)
+                    qt = np.broadcast_to(
+                        quad[nodes[ap]], (b, kq, dim, dim)
+                    ).reshape(-1, dim, dim)
+                    contrib[:, ap, :] += quadrupole_accel(
+                        dq, r2q, qt, G
+                    ).reshape(b, kq, dim)
+                    quad_terms += b * kq
+            # The reduced axis is strided, so numpy accumulates it
+            # sequentially — the same order as the lockstep rounds.
+            acc[int(go[g]):int(go[g + 1])] = contrib.sum(axis=1)
+        else:
+            x2 = np.einsum("ij,ij->i", xg, xg)
+            c2 = np.einsum("ij,ij->i", cn, cn)
+            r2 = x2[:, None] + c2[None, :] - 2.0 * (xg @ cn.T)
+            np.maximum(r2, 0.0, out=r2)  # cancellation can go negative
+            r2c = r2 + eps2
+            with np.errstate(divide="ignore", invalid="ignore"):
+                w = np.where(r2c > 0.0, G * mn * r2c ** -1.5, 0.0)
+            if body_ids is not None:
+                ids = body_ids[int(go[g]):int(go[g + 1])]
+            else:
+                ids = np.arange(int(go[g]), int(go[g + 1]))
+            self_rows, self_cols = np.nonzero(
+                ids[:, None] == point_body[nodes][None, :]
+            )
+            w[self_rows, self_cols] = 0.0
+            acc_g = w @ cn - w.sum(axis=1)[:, None] * xg
+            if quad is not None:
+                ap = lists.approx[lo_e:hi_e]
+                kq = int(np.count_nonzero(ap))
+                if kq:
+                    can = cn[ap]
+                    dq = (can[None, :, :] - xg[:, None, :]).reshape(-1, dim)
+                    r2q = np.einsum("ij,ij->i", dq, dq) + eps2
+                    qt = np.broadcast_to(
+                        quad[nodes[ap]], (b, kq, dim, dim)
+                    ).reshape(-1, dim, dim)
+                    acc_g += quadrupole_accel(dq, r2q, qt, G).reshape(
+                        b, kq, dim
+                    ).sum(axis=1)
+                    quad_terms += b * kq
+            acc[int(go[g]):int(go[g + 1])] = acc_g
+
+        pairs += b * k
+        nonzero += int(np.count_nonzero(w))
+
+    return acc, {"pairs": pairs, "interactions": nonzero,
+                 "quad_terms": quad_terms}
+
+
+def account_grouped_force(
+    counters: Counters,
+    lists: InteractionLists,
+    groups: BodyGroups,
+    *,
+    n_bodies: int,
+    dim: int,
+    simt_width: int,
+    pairs: int,
+    quad_terms: int = 0,
+    visit_bytes: float = 50.0,
+    built: bool = True,
+    flops_per_visit: float = 8.0,
+    sort_comparisons: float = 0.0,
+) -> None:
+    """Charge a grouped force evaluation (list-build vs list-eval split).
+
+    The build walk is pointer chasing (irregular bytes) but runs once
+    per *group* and is warp-synchronous by construction — every lane of
+    a warp executes the same walk — so its warp-granularity work equals
+    its per-thread work (no divergence inflation).  The eval is a dense
+    streaming tile.  When the lists come from the cross-timestep cache
+    (``built=False``), only the eval side is charged.
+    """
+    build_steps = float(lists.steps.sum()) if built else 0.0
+    entries = float(lists.n_entries)
+    node_bytes = (dim + 1) * 8.0
+    quad_entries = float(lists.n_approx) if quad_terms else 0.0
+    counters.add(
+        flops=(pairs * FLOPS_PER_INTERACTION + build_steps * flops_per_visit
+               + quad_terms * QUAD_EXTRA_FLOPS),
+        special_flops=pairs * SPECIAL_PER_INTERACTION,
+        bytes_irregular=build_steps * visit_bytes,
+        bytes_read=(build_steps * visit_bytes
+                    + entries * node_bytes
+                    + quad_entries * QUAD_EXTRA_BYTES
+                    + n_bodies * dim * 8.0),
+        bytes_written=n_bodies * dim * 8.0,
+        traversal_steps=build_steps,
+        traversal_steps_max=float(lists.steps.max(initial=0)) if built else 0.0,
+        # Warp-synchronous: one warp executes one group's walk, all
+        # lanes together, so warp-granularity work == per-thread work.
+        warp_traversal_steps=build_steps,
+        interaction_list_size=entries,
+        list_build_steps=build_steps,
+        list_eval_interactions=float(pairs),
+        loop_iterations=float(groups.n_groups + n_bodies),
+        kernel_launches=2.0 if built else 1.0,
+        sort_comparisons=sort_comparisons,
+    )
