@@ -23,12 +23,13 @@ results at ``group_size=1``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
 import numpy as np
 
-from repro.bench import format_table
+from repro.bench import BenchRecord, format_table, write_bench_json
 from repro.bvh.build import build_bvh
 from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
 from repro.octree.build_vectorized import build_octree_vectorized
@@ -41,6 +42,22 @@ from repro.workloads import galaxy_collision
 PARAMS = GravityParams(softening=0.05)
 THETA = 0.5
 GROUP_SIZE = 32
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _records(rows: list[dict], n: int) -> list[BenchRecord]:
+    """Rows in the shared BENCH_*.json schema (repro.bench.record)."""
+    return [
+        BenchRecord(
+            workload="galaxy", n=n,
+            config={"tree": r["tree"], "mode": r["mode"], "theta": THETA,
+                    "group_size": GROUP_SIZE, "softening": PARAMS.softening},
+            host_seconds=r["seconds"], model_seconds=None,
+            extra={"speedup": r["speedup"],
+                   "rel_l2_vs_lockstep": r["rel_l2_vs_lockstep"]},
+        )
+        for r in rows
+    ]
 
 
 def _best_of(fn, reps: int) -> float:
@@ -106,6 +123,11 @@ def _report(rows: list[dict], n: int) -> str:
 def run(n: int, *, reps: int, min_speedup: float | None) -> int:
     rows = sweep(n, reps=reps)
     print(_report(rows, n))
+    path = write_bench_json("traversal_modes", _records(rows, n),
+                            out_dir=RESULTS_DIR,
+                            meta={"theta": THETA, "group_size": GROUP_SIZE,
+                                  "reps": reps})
+    print(f"[saved to {path}]")
     status = 0
     for r in rows:
         if r["mode"] == "grouped":
@@ -147,10 +169,14 @@ except ImportError:  # pragma: no cover - pytest always present in CI
 if pytest is not None:
 
     @pytest.mark.benchmark(group="traversal")
-    def test_traversal_modes_smoke(benchmark, emit):
+    def test_traversal_modes_smoke(benchmark, emit, results_dir):
         rows = benchmark.pedantic(lambda: sweep(2000, reps=1),
                                   rounds=1, iterations=1)
         emit("traversal_modes_smoke", _report(rows, 2000))
+        write_bench_json("traversal_modes", _records(rows, 2000),
+                         out_dir=results_dir,
+                         meta={"theta": THETA, "group_size": GROUP_SIZE,
+                               "smoke": True})
         by = {(r["tree"], r["mode"]): r for r in rows}
         for tree in ("octree", "bvh"):
             assert by[(tree, "grouped")]["speedup"] > 1.0

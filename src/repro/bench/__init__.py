@@ -22,6 +22,13 @@ from repro.bench.runner import (
     throughput_table,
 )
 from repro.bench.extrapolate import extrapolate_counters, fit_power_law
+from repro.bench.record import (
+    SCHEMA,
+    BenchRecord,
+    bench_path,
+    read_bench_json,
+    write_bench_json,
+)
 from repro.bench.report import format_table
 
 __all__ = [
@@ -32,4 +39,9 @@ __all__ = [
     "extrapolate_counters",
     "fit_power_law",
     "format_table",
+    "SCHEMA",
+    "BenchRecord",
+    "bench_path",
+    "read_bench_json",
+    "write_bench_json",
 ]

@@ -1,0 +1,91 @@
+"""Standardized benchmark result files (``BENCH_<name>.json``).
+
+Every microbenchmark under ``benchmarks/`` emits its data points in one
+shared schema so that CI can collect them as artifacts and downstream
+tooling (plots, regression diffs) never has to parse bespoke formats.
+A file holds a list of *records*; each record is one measured
+configuration::
+
+    {"workload": "galaxy", "n": 10000, "config": {...},
+     "host_seconds": 0.42, "model_seconds": 1.3e-3, "extra": {...}}
+
+``host_seconds`` is wall clock of this Python reproduction on the host;
+``model_seconds`` is the cost-model projection (device time), ``None``
+when the bench does not project.  Anything bench-specific (speedups,
+efficiencies, per-rank splits) goes under ``extra``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+#: Bump on incompatible record-layout changes.
+SCHEMA = "repro-bench-v1"
+
+
+@dataclass
+class BenchRecord:
+    """One measured data point of a benchmark."""
+
+    workload: str
+    n: int
+    config: dict[str, Any]
+    host_seconds: float
+    model_seconds: float | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        d = asdict(self)
+        d["n"] = int(d["n"])
+        d["host_seconds"] = float(d["host_seconds"])
+        if d["model_seconds"] is not None:
+            d["model_seconds"] = float(d["model_seconds"])
+        return d
+
+
+def bench_path(name: str, out_dir: str | pathlib.Path | None = None) -> pathlib.Path:
+    """Canonical location of a bench file: ``<out_dir>/BENCH_<name>.json``."""
+    base = pathlib.Path(out_dir) if out_dir is not None else pathlib.Path(".")
+    return base / f"BENCH_{name}.json"
+
+
+def write_bench_json(
+    name: str,
+    records: list[BenchRecord | dict[str, Any]],
+    *,
+    out_dir: str | pathlib.Path | None = None,
+    meta: dict[str, Any] | None = None,
+) -> pathlib.Path:
+    """Write *records* to ``BENCH_<name>.json``; returns the path."""
+    rows = [r.to_dict() if isinstance(r, BenchRecord) else dict(r) for r in records]
+    required = {"workload", "n", "config", "host_seconds", "model_seconds"}
+    for row in rows:
+        missing = required - set(row)
+        if missing:
+            raise ValueError(f"bench record missing fields {sorted(missing)}")
+    payload = {
+        "schema": SCHEMA,
+        "name": name,
+        "generated_unix_time": time.time(),
+        "hostname": platform.node(),
+        "python": platform.python_version(),
+        "meta": meta or {},
+        "records": rows,
+    }
+    path = bench_path(name, out_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_json(path: str | pathlib.Path) -> dict[str, Any]:
+    """Load and validate a ``BENCH_*.json`` file."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported bench schema {payload.get('schema')!r}")
+    return payload

@@ -192,6 +192,20 @@ def assemble_bvh(
     # visit to its own leaf a divergent near-zero-distance interaction
     # under zero softening.
     com[fl : fl + n] = xs
+    # The same holds for internal nodes holding a single body (their
+    # sibling subtree is padding): the node's box is degenerate, so
+    # ``size2 = 0`` passes the MAC at *any* nonzero distance — including
+    # the one-ulp offset of the weighted com from the body's own
+    # position.  Propagate the occupied child's com bitwise instead.
+    for level in range(layout.n_levels - 2, -1, -1):
+        sl = layout.level_slice(level)
+        cl = layout.level_slice(level + 1)
+        k = sl.stop - sl.start
+        single = np.nonzero(count[sl] == 1)[0]
+        if single.size:
+            ccount = count[cl].reshape(k, 2)
+            pick = np.argmax(ccount[single], axis=1)
+            com[sl.start + single] = com[cl].reshape(k, 2, dim)[single, pick]
 
     quad = None
     if order == 2:

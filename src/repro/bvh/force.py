@@ -223,6 +223,11 @@ def _bvh_tree_view(bvh: BVH) -> TreeView:
     )
 
 
+#: Public alias: the distributed runtime builds LETs and cross-rank
+#: interaction lists against this same view.
+bvh_tree_view = _bvh_tree_view
+
+
 def bvh_accelerations_grouped(
     bvh: BVH,
     params: GravityParams = GravityParams(),

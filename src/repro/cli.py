@@ -51,7 +51,12 @@ def _cmd_run(args) -> int:
     system = _make_system(args)
     cfg = SimulationConfig(algorithm=args.algorithm, theta=args.theta,
                            dt=args.dt, gravity=gravity,
-                           traversal=args.traversal, group_size=args.group_size)
+                           traversal=args.traversal, group_size=args.group_size,
+                           ranks=args.ranks, decomposition=args.decomposition,
+                           rebalance_steps=args.rebalance_steps,
+                           interconnect=args.interconnect,
+                           ranks_per_node=args.ranks_per_node,
+                           inter_interconnect=args.inter_interconnect)
     e0 = energy_report(system, gravity) if system.n <= 20_000 else None
     sim = Simulation(system, cfg)
     rep = sim.run(args.steps)
@@ -60,6 +65,19 @@ def _cmd_run(args) -> int:
           f"({system.n * args.steps / max(rep.wall_seconds, 1e-12):.3g} bodies/s)")
     for step, sec in sorted(rep.seconds.items()):
         print(f"  {step:16s} {sec:.4f}s")
+    if sim.distributed is not None and sim.distributed.last_report is not None:
+        from repro.machine.costmodel import CostModel
+
+        drep = sim.distributed.last_report
+        model = CostModel(sim.ctx.device, toolchain=sim.ctx.toolchain)
+        compute, comm = drep.comm_compute_split(model)
+        print(f"ranks={cfg.ranks} decomposition={cfg.decomposition} "
+              f"imbalance={drep.imbalance(model):.3f} "
+              f"migrated={drep.migrated} "
+              f"halo={drep.let_bytes.sum() / 1e6:.3f}MB/step")
+        for r in range(drep.n_ranks):
+            print(f"  rank {r}: bodies={int(drep.counts[r])} "
+                  f"compute={compute[r]:.3e}s comm={comm[r]:.3e}s")
     if e0 is not None:
         e1 = energy_report(system, gravity)
         print(f"energy drift: {e1.drift_from(e0):.3e}  "
@@ -156,6 +174,22 @@ def main(argv: list[str] | None = None) -> int:
                    help="force traversal: per-body lockstep or group-coherent")
     p.add_argument("--group-size", type=int, default=32, dest="group_size",
                    help="bodies per traversal group (grouped mode)")
+    p.add_argument("--ranks", type=int, default=1,
+                   help="simulated ranks (>1 enables repro.distributed)")
+    p.add_argument("--decomposition", default="static",
+                   choices=["static", "weighted"],
+                   help="split points: equal counts or counter-fed work")
+    p.add_argument("--rebalance-steps", type=int, default=8,
+                   dest="rebalance_steps",
+                   help="recompute split points every k-th step")
+    p.add_argument("--interconnect", default="nvlink4",
+                   help="link class between ranks (see machine.catalog)")
+    p.add_argument("--ranks-per-node", type=int, default=0,
+                   dest="ranks_per_node",
+                   help="ranks sharing the intra-node link (0 = all)")
+    p.add_argument("--inter-interconnect", default="ib-ndr",
+                   dest="inter_interconnect",
+                   help="inter-node link class of the hierarchical fabric")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("devices", help="list the device catalog")

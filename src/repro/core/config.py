@@ -56,6 +56,26 @@ class SimulationConfig:
     #: SIMT width used for the divergence statistics of the lockstep
     #: force kernels (matches the warp width of the modeled GPU).
     simt_width: int = 32
+    #: Simulated ranks.  ``1`` (default) runs the ordinary single-rank
+    #: kernels untouched; ``K > 1`` routes force evaluation through
+    #: :mod:`repro.distributed`: Hilbert-range domain decomposition,
+    #: per-rank local trees, LET halo exchange over the modeled fabric.
+    ranks: int = 1
+    #: Split-point policy: ``"static"`` = equal body counts,
+    #: ``"weighted"`` = equal counter-fed per-body work (Becciani-style).
+    decomposition: str = "static"
+    #: Recompute the split points every k-th step (bodies are re-binned
+    #: against the cached key ranges in between).
+    rebalance_steps: int = 8
+    #: Interconnect link class (``machine.catalog`` key) between ranks —
+    #: the intra-node class when ``ranks_per_node`` makes the fabric
+    #: hierarchical.
+    interconnect: str = "nvlink4"
+    #: Ranks per node for the hierarchical fabric; ``0`` (default) puts
+    #: every rank in one node (uniform fabric over ``interconnect``).
+    ranks_per_node: int = 0
+    #: Inter-node link class of the hierarchical fabric.
+    inter_interconnect: str = "ib-ndr"
     #: All-Pairs-Col only: knowingly replace par by par_unseq on devices
     #: without parallel forward progress, as the paper did on AMD/Intel
     #: GPUs ("this requires introducing undefined behavior").  Our batch
@@ -84,6 +104,21 @@ class SimulationConfig:
             raise ConfigurationError("group_size must be an integer >= 1")
         if self.simt_width < 1:
             raise ConfigurationError("simt_width must be >= 1")
+        if not isinstance(self.ranks, int) or self.ranks < 1:
+            raise ConfigurationError("ranks must be an integer >= 1")
+        if self.decomposition not in ("static", "weighted"):
+            raise ConfigurationError(
+                "decomposition must be 'static' or 'weighted'"
+            )
+        if not isinstance(self.rebalance_steps, int) or self.rebalance_steps < 1:
+            raise ConfigurationError("rebalance_steps must be an integer >= 1")
+        if not isinstance(self.ranks_per_node, int) or self.ranks_per_node < 0:
+            raise ConfigurationError("ranks_per_node must be an integer >= 0")
+        if self.ranks > 1 and self.algorithm not in ("octree", "bvh"):
+            raise ConfigurationError(
+                "ranks > 1 requires a tree algorithm ('octree' or 'bvh'); "
+                f"got {self.algorithm!r}"
+            )
 
     def with_(self, **kw) -> "SimulationConfig":
         """Functional update helper."""

@@ -13,12 +13,15 @@ from repro.physics.bodies import BodySystem
 from repro.physics.integrator import VerletIntegrator
 from repro.stdpar.context import ExecutionContext
 
-#: Canonical step order for reporting (paper Algorithm 2 / 6).
+#: Canonical step order for reporting (paper Algorithm 2 / 6, extended
+#: with the distributed phases of repro.distributed).
 STEP_ORDER = (
+    "partition",
     "bounding_box",
     "sort",
     "build_tree",
     "multipoles",
+    "exchange",
     "force",
     "update_position",
 )
@@ -68,12 +71,21 @@ class Simulation:
         self.last_report: StepReport | None = None
         #: Per-simulation tree-structure cache (config.tree_reuse_steps).
         self._tree_cache: dict = {}
+        #: Simulated multi-rank runtime; ``ranks=1`` bypasses it
+        #: entirely so the single-rank path stays bit-identical.
+        self.distributed = None
+        if self.config.ranks > 1:
+            from repro.distributed.runtime import DistributedRuntime
+
+            self.distributed = DistributedRuntime(self.config, self.ctx)
         self._integrator = VerletIntegrator(
             system, self._accelerations, self.config.dt
         )
 
     # ------------------------------------------------------------------
     def _accelerations(self, system: BodySystem) -> np.ndarray:
+        if self.distributed is not None:
+            return self.distributed.accelerations(system)
         return self.algorithm.accelerations(
             system, self.config, self.ctx, cache=self._tree_cache
         )

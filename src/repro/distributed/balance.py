@@ -1,0 +1,73 @@
+"""Work-weighted rebalancing of the domain decomposition.
+
+The static decomposition splits the Hilbert curve at equal body counts,
+which equalizes *memory* but not *work*: clustered regions open far
+more tree nodes per body than void regions.  The weighted mode
+(Becciani et al.'s work-sharing) splits at equal cumulative per-body
+cost instead, with the cost fed back from the machine counters: after
+each force evaluation the per-rank modeled seconds are smeared over the
+rank's bodies and used as the weights of the next rebalance.
+
+Rebalancing every step would thrash (the split points chase noise and
+every move is a migration the fabric charges for), so the balancer
+fires on a fixed cadence — ``rebalance_steps`` from the simulation
+config — and the decomposition's cached key splits re-bin drifting
+bodies in between.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.partition import DomainDecomposition
+from repro.types import FLOAT
+
+
+class WorkBalancer:
+    """Cadence + feedback state for split-point recomputation."""
+
+    def __init__(self, rebalance_steps: int, mode: str = "static"):
+        self.rebalance_steps = max(int(rebalance_steps), 1)
+        self.mode = mode
+        #: Per-body modeled seconds from the most recent observation
+        #: (global body order); None until the first force evaluation.
+        self.weights: np.ndarray | None = None
+        self._calls = 0
+
+    def tick(self) -> bool:
+        """Advance one step; True when the split points are due."""
+        due = (self._calls % self.rebalance_steps) == 0
+        self._calls += 1
+        return due
+
+    def observe(self, decomp: DomainDecomposition, rank_seconds: np.ndarray) -> None:
+        """Record per-rank modeled force seconds as per-body weights.
+
+        The smearing (rank seconds / rank count) is deliberately coarse:
+        per-body traversal lengths are available but noisy, and the
+        split points only need the *integral* of work along the curve.
+        """
+        rank_seconds = np.asarray(rank_seconds, dtype=FLOAT)
+        w = np.ones(decomp.n_bodies, dtype=FLOAT)
+        counts = decomp.counts
+        for r in range(decomp.n_ranks):
+            if counts[r] > 0:
+                w[decomp.members(r)] = rank_seconds[r] / counts[r]
+        self.weights = w
+
+    def weights_for(self, n_bodies: int) -> np.ndarray | None:
+        """Weights to feed the next rebalance (None → equal counts)."""
+        if self.mode != "weighted" or self.weights is None:
+            return None
+        if self.weights.shape[0] != n_bodies:
+            return None
+        return self.weights
+
+    @staticmethod
+    def imbalance(rank_seconds: np.ndarray) -> float:
+        """Load-imbalance factor: max over mean (1.0 = perfect)."""
+        rank_seconds = np.asarray(rank_seconds, dtype=FLOAT)
+        mean = float(rank_seconds.mean()) if rank_seconds.size else 0.0
+        if mean <= 0.0:
+            return 1.0
+        return float(rank_seconds.max()) / mean

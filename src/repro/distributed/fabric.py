@@ -1,0 +1,167 @@
+"""Message-passing fabric model connecting the simulated ranks.
+
+The fabric is to the interconnect what :class:`repro.machine.device.
+Device` is to the chip: a small set of alpha-beta link classes (from
+the ``machine.catalog`` interconnect table) arranged in a topology.
+Two topologies cover the machines the paper's testbeds come from:
+
+* ``uniform``      — all-to-all over one link class (one NVLink-domain
+  chassis, or one IB subnet when every rank is its own node);
+* ``hierarchical`` — ``ranks_per_node`` ranks share an intra-node link
+  (NVLink-class); pairs in different nodes use the inter-node link
+  (IB-class).  This is the DGX/HGX-cluster shape.
+
+Every :meth:`send` charges the alpha-beta cost of the message to
+*both* endpoints (the NIC/copy engine is busy on each side), which is
+what a bulk-synchronous exchange step observes.  The fabric is purely
+a model: no data moves through it, only byte counts and times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.catalog import get_interconnect
+from repro.machine.interconnect import Interconnect
+
+
+@dataclass
+class FabricTraffic:
+    """Accumulated traffic since the last :meth:`Fabric.reset`."""
+
+    n_ranks: int
+    #: Bytes sent from rank i to rank j.
+    bytes_matrix: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Messages sent from rank i to rank j.
+    message_matrix: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: Modeled seconds each rank spent on the fabric.
+    rank_seconds: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        k = self.n_ranks
+        if self.bytes_matrix is None:
+            self.bytes_matrix = np.zeros((k, k))
+        if self.message_matrix is None:
+            self.message_matrix = np.zeros((k, k))
+        if self.rank_seconds is None:
+            self.rank_seconds = np.zeros(k)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.bytes_matrix.sum())
+
+    @property
+    def total_messages(self) -> float:
+        return float(self.message_matrix.sum())
+
+    def merged(self, other: "FabricTraffic") -> "FabricTraffic":
+        out = FabricTraffic(self.n_ranks)
+        out.bytes_matrix = self.bytes_matrix + other.bytes_matrix
+        out.message_matrix = self.message_matrix + other.message_matrix
+        out.rank_seconds = self.rank_seconds + other.rank_seconds
+        return out
+
+
+class Fabric:
+    """A topology of interconnect links between ``n_ranks`` ranks."""
+
+    def __init__(self, n_ranks: int, links: np.ndarray):
+        """*links* is an ``(n_ranks, n_ranks)`` object array of
+        :class:`Interconnect` (diagonal entries are ignored); prefer
+        the :meth:`uniform` / :meth:`hierarchical` constructors."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        links = np.asarray(links, dtype=object)
+        if links.shape != (n_ranks, n_ranks):
+            raise ValueError(f"links must be ({n_ranks}, {n_ranks}), got {links.shape}")
+        self.n_ranks = n_ranks
+        self._latency_us = np.zeros((n_ranks, n_ranks))
+        self._bw_gbs = np.ones((n_ranks, n_ranks))
+        self._links = links
+        for i in range(n_ranks):
+            for j in range(n_ranks):
+                if i == j:
+                    continue
+                ic = links[i, j]
+                self._latency_us[i, j] = ic.latency_us
+                self._bw_gbs[i, j] = ic.bandwidth_gbs
+        self.traffic = FabricTraffic(n_ranks)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, n_ranks: int, interconnect: Interconnect | str) -> "Fabric":
+        """All-to-all over one link class."""
+        if isinstance(interconnect, str):
+            interconnect = get_interconnect(interconnect)
+        links = np.full((n_ranks, n_ranks), interconnect, dtype=object)
+        return cls(n_ranks, links)
+
+    @classmethod
+    def hierarchical(
+        cls,
+        n_ranks: int,
+        ranks_per_node: int,
+        intra: Interconnect | str,
+        inter: Interconnect | str,
+    ) -> "Fabric":
+        """NVLink-class inside a node, IB-class between nodes."""
+        if ranks_per_node < 1:
+            raise ValueError("ranks_per_node must be >= 1")
+        if isinstance(intra, str):
+            intra = get_interconnect(intra)
+        if isinstance(inter, str):
+            inter = get_interconnect(inter)
+        node = np.arange(n_ranks) // ranks_per_node
+        links = np.empty((n_ranks, n_ranks), dtype=object)
+        same = node[:, None] == node[None, :]
+        links[same] = intra
+        links[~same] = inter
+        return cls(n_ranks, links)
+
+    # ------------------------------------------------------------------
+    def link(self, src: int, dst: int) -> Interconnect:
+        return self._links[src, dst]
+
+    def message_seconds(self, src: int, dst: int, n_bytes: float) -> float:
+        """Alpha-beta time of one message on the (src, dst) link."""
+        return (self._latency_us[src, dst] * 1e-6
+                + float(n_bytes) / (self._bw_gbs[src, dst] * 1e9))
+
+    def send(self, src: int, dst: int, n_bytes: float) -> float:
+        """Record one message; returns (and charges) its modeled time.
+
+        The time lands on both endpoints' ``rank_seconds`` — sender
+        packs/injects while the receiver drains, and a BSP exchange
+        step cannot complete for either until the transfer does.
+        """
+        if src == dst:
+            return 0.0
+        t = self.message_seconds(src, dst, n_bytes)
+        self.traffic.bytes_matrix[src, dst] += n_bytes
+        self.traffic.message_matrix[src, dst] += 1.0
+        self.traffic.rank_seconds[src] += t
+        self.traffic.rank_seconds[dst] += t
+        return t
+
+    def allgather(self, n_bytes_per_rank: float) -> float:
+        """Ring allgather of *n_bytes_per_rank* from every rank.
+
+        Charged as ``n_ranks - 1`` ring hops (each rank forwards to its
+        neighbour); returns the slowest rank's added seconds.
+        """
+        k = self.n_ranks
+        if k == 1:
+            return 0.0
+        before = self.traffic.rank_seconds.copy()
+        for hop in range(k - 1):
+            for r in range(k):
+                self.send(r, (r + 1) % k, n_bytes_per_rank)
+        return float((self.traffic.rank_seconds - before).max())
+
+    def reset(self) -> FabricTraffic:
+        """Zero the accumulators; returns the traffic so far."""
+        out = self.traffic
+        self.traffic = FabricTraffic(self.n_ranks)
+        return out

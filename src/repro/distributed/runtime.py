@@ -1,0 +1,440 @@
+"""Deterministic simulated multi-rank runtime (BSP step pipeline).
+
+One process *plays* K ranks: every rank's work runs locally, in rank
+order, against its own :class:`~repro.stdpar.context.ExecutionContext`,
+and every exchange goes through the modeled
+:class:`~repro.distributed.fabric.Fabric` instead of a real wire.  The
+physics is therefore exactly reproducible (no MPI nondeterminism) while
+the *accounting* is what a real K-rank machine would see: per-rank
+operation counters, per-rank fabric seconds, and a bulk-synchronous
+step time of ``max`` over ranks.
+
+The per-timestep pipeline extends the paper's Algorithm 2/6 with two
+distributed phases::
+
+    partition   Hilbert keys, split-point re-bin (or rebalance),
+                body migration between owners
+    bounding_box/sort/build_tree/multipoles
+                per-rank local trees (the existing kernels, verbatim)
+    exchange    LET halo selection + fabric transfer of halo nodes
+    force       local tree force + cross-rank force against every
+                remote tree (the walk provably stays inside the
+                exchanged LET; see repro.distributed.let)
+
+``ranks=1`` never reaches this module — ``core.Simulation`` bypasses it
+entirely, so the single-rank path stays bit-identical to the kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributed.balance import WorkBalancer
+from repro.distributed.fabric import Fabric, FabricTraffic
+from repro.distributed.let import build_let_plan, remote_accelerations
+from repro.distributed.partition import (
+    DomainDecomposition,
+    decompose,
+    hilbert_keys,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.aabb import compute_bounding_box
+from repro.machine.costmodel import CostModel
+from repro.machine.counters import StepCounters
+from repro.stdpar.context import ExecutionContext
+from repro.traversal.engine import account_grouped_force
+from repro.traversal.groups import make_groups
+from repro.types import FLOAT, INDEX
+
+#: Wire size of one migrated body: position + velocity + mass.
+def _body_bytes(dim: int) -> float:
+    return (2.0 * dim + 1.0) * 8.0
+
+
+@dataclass
+class DistributedReport:
+    """Per-step accounting of one distributed force evaluation."""
+
+    n_ranks: int
+    counts: np.ndarray                   # bodies per rank
+    rank_counters: list[StepCounters]    # per-rank operation counts
+    traffic: FabricTraffic               # fabric bytes/messages/seconds
+    let_bytes: np.ndarray                # (K, K) LET halo bytes src→dst
+    migrated: int                        # bodies that changed owner
+    rebalanced: bool                     # split points recomputed?
+    decomposition: DomainDecomposition = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def model_rank_seconds(self, model: CostModel) -> np.ndarray:
+        """Modeled seconds per rank: device compute + fabric time.
+
+        Pass a :class:`CostModel` *without* an interconnect — per-link
+        fabric times are already in ``traffic.rank_seconds``, and the
+        model's single-link ``comm`` term would double-charge them.
+        """
+        compute = np.array(
+            [model.total_time(sc) for sc in self.rank_counters], dtype=FLOAT
+        )
+        return compute + self.traffic.rank_seconds
+
+    def model_step_seconds(self, model: CostModel) -> float:
+        """Bulk-synchronous step time: the slowest rank."""
+        return float(self.model_rank_seconds(model).max())
+
+    def comm_compute_split(self, model: CostModel) -> tuple[np.ndarray, np.ndarray]:
+        """(compute seconds, comm seconds) per rank."""
+        compute = np.array(
+            [model.total_time(sc) for sc in self.rank_counters], dtype=FLOAT
+        )
+        return compute, self.traffic.rank_seconds.copy()
+
+    def imbalance(self, model: CostModel) -> float:
+        return WorkBalancer.imbalance(self.model_rank_seconds(model))
+
+
+class DistributedRuntime:
+    """Runs the distributed pipeline for ``config.ranks`` simulated ranks."""
+
+    def __init__(self, config, ctx: ExecutionContext):
+        if config.algorithm not in ("octree", "bvh"):
+            raise ConfigurationError(
+                f"ranks > 1 requires a tree algorithm (octree or bvh), "
+                f"got {config.algorithm!r}"
+            )
+        self.config = config
+        self.ctx = ctx
+        self.n_ranks = int(config.ranks)
+        if config.ranks_per_node and config.ranks_per_node < self.n_ranks:
+            self.fabric = Fabric.hierarchical(
+                self.n_ranks, config.ranks_per_node,
+                config.interconnect, config.inter_interconnect,
+            )
+        else:
+            self.fabric = Fabric.uniform(self.n_ranks, config.interconnect)
+        self.balancer = WorkBalancer(config.rebalance_steps, config.decomposition)
+        #: One execution context per simulated rank: same device /
+        #: backend / toolchain as the session, separate accounting.
+        self.rank_ctx = [
+            ExecutionContext(
+                ctx.device, backend=ctx.backend, toolchain=ctx.toolchain,
+                on_progress_violation=ctx.on_progress_violation,
+                warp_width=ctx.warp_width,
+            )
+            for _ in range(self.n_ranks)
+        ]
+        self._decomp: DomainDecomposition | None = None
+        self._prev_rank_of: np.ndarray | None = None
+        self.last_report: DistributedReport | None = None
+        #: Cost model used only to convert rank counters into the
+        #: per-body weights the work-weighted rebalance feeds on.
+        self._feedback_model = CostModel(ctx.device, toolchain=ctx.toolchain)
+
+    # ------------------------------------------------------------------
+    def accelerations(self, system) -> np.ndarray:
+        """One distributed force evaluation; global body order in/out."""
+        cfg = self.config
+        x = np.asarray(system.x, dtype=FLOAT)
+        m = np.asarray(system.m, dtype=FLOAT)
+        n, dim = x.shape
+        K = self.n_ranks
+        for rc in self.rank_ctx:
+            rc.reset_accounting()
+        self.fabric.reset()
+
+        with self.ctx.step("partition"):
+            decomp, rebalanced, migrated = self._partition(x, dim)
+        counts = decomp.counts
+        members = [decomp.members(r) for r in range(K)]
+        xr = [x[members[r]] for r in range(K)]
+        mr = [m[members[r]] for r in range(K)]
+
+        # Per-rank local trees (the existing kernels, per-rank contexts).
+        if cfg.algorithm == "octree":
+            views, local_force, exact = self._build_octrees(xr, mr)
+        else:
+            views, local_force, exact = self._build_bvhs(xr, mr)
+
+        with self.ctx.step("exchange"):
+            let_bytes = self._exchange(decomp, x, views, dim)
+
+        acc = np.zeros((n, dim), dtype=FLOAT)
+        with self.ctx.step("force"):
+            gs = cfg.group_size if cfg.traversal == "grouped" else 1
+            for d in range(K):
+                if counts[d] == 0:
+                    continue
+                rc = self.rank_ctx[d]
+                with rc.step("force"):
+                    acc_d = local_force(d)
+                    groups_d = make_groups(xr[d], gs)
+                    # All remote halos are walked and evaluated back to
+                    # back in one batched launch pair; the fixed launch
+                    # overhead is charged on the first source only.
+                    remote_launches = 2.0
+                    for s in range(K):
+                        if s == d or counts[s] == 0:
+                            continue
+                        acc_c, st = remote_accelerations(
+                            views[s], groups_d, xr[d], cfg.theta,
+                            G=cfg.gravity.G, eps2=cfg.gravity.eps2,
+                            exact_bodies=exact(s), x_src=xr[s], m_src=mr[s],
+                        )
+                        acc_d += acc_c
+                        account_grouped_force(
+                            rc.counters, st.lists, groups_d,
+                            n_bodies=int(counts[d]), dim=dim,
+                            simt_width=cfg.simt_width,
+                            pairs=st.pairs, quad_terms=st.quad_terms,
+                            visit_bytes=views[s].visit_bytes, built=True,
+                            flops_per_visit=8.0 if cfg.algorithm == "octree" else 10.0,
+                            launches=remote_launches,
+                        )
+                        remote_launches = 0.0
+                    acc[members[d]] = acc_d
+
+        # Roll per-rank counters into the session's machine counters.
+        merged = StepCounters()
+        for rc in self.rank_ctx:
+            merged = merged.merge(rc.step_counters)
+        self.ctx.step_counters = self.ctx.step_counters.merge(merged)
+
+        report = DistributedReport(
+            n_ranks=K,
+            counts=counts.copy(),
+            rank_counters=[rc.step_counters for rc in self.rank_ctx],
+            traffic=self.fabric.reset(),
+            let_bytes=let_bytes,
+            migrated=migrated,
+            rebalanced=rebalanced,
+            decomposition=decomp,
+        )
+        self.last_report = report
+
+        # Feed per-rank force seconds back into the next rebalance.
+        force_seconds = np.array([
+            self._feedback_model.step_time(sc.step("force")).total
+            for sc in report.rank_counters
+        ])
+        self.balancer.observe(decomp, force_seconds)
+        return acc
+
+    # ------------------------------------------------------------------
+    def _partition(self, x: np.ndarray, dim: int):
+        """Key computation, split-point maintenance, migration traffic."""
+        n = x.shape[0]
+        K = self.n_ranks
+        box = compute_bounding_box(x)
+        keys = hilbert_keys(x, box, bits=self.config.bits)
+        due = self.balancer.tick()
+        stale = self._decomp is None or self._decomp.n_bodies != n
+        rebalanced = due or stale
+        if rebalanced:
+            decomp = decompose(
+                x, K, box=box, mode=self.config.decomposition,
+                weights=self.balancer.weights_for(n), keys=keys,
+            )
+            # Split-point agreement is an allgather of K+1 keys.
+            self.fabric.allgather((K + 1) * 8.0)
+        else:
+            # Bodies drifted: re-bin against the cached key splits.
+            old = self._decomp
+            order = np.argsort(keys, kind="stable").astype(INDEX)
+            sorted_keys = keys[order]
+            offsets = np.empty(K + 1, dtype=INDEX)
+            offsets[0] = 0
+            offsets[-1] = n
+            offsets[1:-1] = np.searchsorted(
+                sorted_keys, old.key_splits[1:-1], side="left"
+            )
+            decomp = DomainDecomposition(K, order, offsets, old.key_splits, old.mode)
+
+        rank_of = decomp.rank_of()
+        migrated = 0
+        if self._prev_rank_of is not None and self._prev_rank_of.shape[0] == n:
+            moved = np.nonzero(rank_of != self._prev_rank_of)[0]
+            migrated = int(moved.size)
+            if migrated:
+                flow = np.zeros((K, K))
+                np.add.at(flow, (self._prev_rank_of[moved], rank_of[moved]), 1.0)
+                bb = _body_bytes(dim)
+                for s, d in zip(*np.nonzero(flow)):
+                    nb = flow[s, d] * bb
+                    self.fabric.send(int(s), int(d), nb)
+                    self.rank_ctx[s].step_counters.step("partition").add(
+                        comm_bytes=nb, comm_messages=1.0)
+                    self.rank_ctx[d].step_counters.step("partition").add(
+                        comm_bytes=nb, comm_messages=1.0)
+        self._prev_rank_of = rank_of
+        self._decomp = decomp
+
+        # Each rank encodes + sorts its own bodies (keys are 1 encode,
+        # ~5 flops/bit/dim; local sort n log n).
+        for r in range(K):
+            nr = float(decomp.counts[r])
+            if nr == 0:
+                continue
+            self.rank_ctx[r].step_counters.step("partition").add(
+                flops=nr * 30.0 * dim,
+                sort_comparisons=nr * float(np.log2(max(nr, 2.0))),
+                bytes_read=nr * (dim + 1) * 8.0,
+                bytes_written=nr * 8.0,
+                loop_iterations=nr,
+                kernel_launches=2.0,
+            )
+        return decomp, rebalanced, migrated
+
+    # ------------------------------------------------------------------
+    def _build_octrees(self, xr, mr):
+        from repro.octree.build_concurrent import build_octree_concurrent
+        from repro.octree.build_vectorized import build_octree_vectorized
+        from repro.octree.force import (
+            octree_accelerations,
+            octree_accelerations_grouped,
+            octree_tree_view,
+        )
+        from repro.octree.multipoles import (
+            compute_multipoles_concurrent,
+            compute_multipoles_vectorized,
+        )
+
+        cfg = self.config
+        pools = [None] * self.n_ranks
+        views = [None] * self.n_ranks
+        with self.ctx.step("build_tree"):
+            for r in range(self.n_ranks):
+                if xr[r].shape[0] == 0:
+                    continue
+                rc = self.rank_ctx[r]
+                with rc.step("bounding_box"):
+                    box = compute_bounding_box(xr[r])
+                    rc.counters.add(
+                        flops=2.0 * xr[r].size, bytes_read=8.0 * xr[r].size,
+                        loop_iterations=float(xr[r].shape[0]), kernel_launches=1.0,
+                    )
+                with rc.step("build_tree"):
+                    if rc.backend == "reference":
+                        pools[r] = build_octree_concurrent(
+                            xr[r], bits=cfg.bits, box=box, ctx=rc)
+                    else:
+                        pools[r] = build_octree_vectorized(
+                            xr[r], bits=cfg.bits, box=box, ctx=rc)
+        with self.ctx.step("multipoles"):
+            for r in range(self.n_ranks):
+                if pools[r] is None:
+                    continue
+                rc = self.rank_ctx[r]
+                with rc.step("multipoles"):
+                    if rc.backend == "reference":
+                        compute_multipoles_concurrent(
+                            pools[r], xr[r], mr[r], rc, order=cfg.multipole_order)
+                    else:
+                        compute_multipoles_vectorized(
+                            pools[r], xr[r], mr[r], rc, order=cfg.multipole_order)
+                views[r] = octree_tree_view(pools[r])
+
+        def local_force(r: int) -> np.ndarray:
+            rc = self.rank_ctx[r]
+            if cfg.traversal == "grouped":
+                return octree_accelerations_grouped(
+                    pools[r], xr[r], mr[r], cfg.gravity,
+                    theta=cfg.theta, group_size=cfg.group_size,
+                    ctx=rc, simt_width=cfg.simt_width,
+                )
+            return octree_accelerations(
+                pools[r], xr[r], mr[r], cfg.gravity,
+                theta=cfg.theta, ctx=rc, simt_width=cfg.simt_width,
+            )
+
+        def exact(s: int):
+            return pools[s].leaf_bodies
+
+        return views, local_force, exact
+
+    def _build_bvhs(self, xr, mr):
+        from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
+        from repro.bvh.force import (
+            bvh_accelerations,
+            bvh_accelerations_grouped,
+            bvh_tree_view,
+        )
+
+        cfg = self.config
+        bvhs = [None] * self.n_ranks
+        views = [None] * self.n_ranks
+        with self.ctx.step("build_tree"):
+            for r in range(self.n_ranks):
+                if xr[r].shape[0] == 0:
+                    continue
+                rc = self.rank_ctx[r]
+                with rc.step("bounding_box"):
+                    box = compute_bounding_box(xr[r])
+                    rc.counters.add(
+                        flops=2.0 * xr[r].size, bytes_read=8.0 * xr[r].size,
+                        loop_iterations=float(xr[r].shape[0]), kernel_launches=1.0,
+                    )
+                with rc.step("sort"):
+                    perm = hilbert_sort_permutation(
+                        xr[r], box, bits=cfg.bits, ctx=rc, curve=cfg.curve)
+                with rc.step("build_tree"):
+                    bvhs[r] = assemble_bvh(
+                        xr[r], mr[r], perm, box, ctx=rc, order=cfg.multipole_order)
+                views[r] = bvh_tree_view(bvhs[r])
+
+        def local_force(r: int) -> np.ndarray:
+            rc = self.rank_ctx[r]
+            if cfg.traversal == "grouped":
+                return bvh_accelerations_grouped(
+                    bvhs[r], cfg.gravity,
+                    theta=cfg.theta, group_size=cfg.group_size,
+                    ctx=rc, simt_width=cfg.simt_width,
+                )
+            return bvh_accelerations(
+                bvhs[r], cfg.gravity,
+                theta=cfg.theta, ctx=rc, simt_width=cfg.simt_width,
+            )
+
+        def exact(s: int):
+            return None  # BVH leaves are single bodies; no buckets
+
+        return views, local_force, exact
+
+    # ------------------------------------------------------------------
+    def _exchange(self, decomp, x, views, dim):
+        """LET selection per source rank + modeled halo transfer."""
+        cfg = self.config
+        K = self.n_ranks
+        counts = decomp.counts
+        lo, hi = decomp.domain_boxes(x)
+        let_bytes = np.zeros((K, K))
+        for s in range(K):
+            if counts[s] == 0 or views[s] is None:
+                continue
+            dests = np.array(
+                [d for d in range(K) if d != s and counts[d] > 0], dtype=INDEX
+            )
+            if dests.size == 0:
+                continue
+            plan = build_let_plan(
+                views[s], s, dests, lo, hi, cfg.theta,
+                dim=dim, multipole_order=cfg.multipole_order,
+            )
+            cs = self.rank_ctx[s].step_counters.step("exchange")
+            for d, nb in zip(plan.dests, plan.n_bytes):
+                self.fabric.send(s, int(d), float(nb))
+                let_bytes[s, int(d)] = float(nb)
+                cs.add(comm_bytes=float(nb), comm_messages=1.0)
+                self.rank_ctx[int(d)].step_counters.step("exchange").add(
+                    comm_bytes=float(nb), comm_messages=1.0)
+            # The selection walk itself (pointer chasing on the source).
+            visited = float(plan.visited_nodes.sum())
+            cs.add(
+                flops=visited * 8.0,
+                bytes_irregular=visited * views[s].visit_bytes,
+                bytes_read=visited * views[s].visit_bytes,
+                traversal_steps=visited,
+                warp_traversal_steps=visited,
+                loop_iterations=float(dests.size),
+                kernel_launches=1.0,
+            )
+        return let_bytes

@@ -11,7 +11,15 @@ of Table I against the model.
 
 from repro.machine.counters import Counters, StepCounters
 from repro.machine.device import Device, DeviceKind
-from repro.machine.catalog import DEVICES, get_device, list_devices, HOST
+from repro.machine.interconnect import Interconnect
+from repro.machine.catalog import (
+    DEVICES,
+    INTERCONNECTS,
+    get_device,
+    get_interconnect,
+    list_devices,
+    HOST,
+)
 from repro.machine.costmodel import CostModel, predict_time
 
 
@@ -29,8 +37,11 @@ __all__ = [
     "StepCounters",
     "Device",
     "DeviceKind",
+    "Interconnect",
     "DEVICES",
+    "INTERCONNECTS",
     "get_device",
+    "get_interconnect",
     "list_devices",
     "HOST",
     "CostModel",

@@ -21,6 +21,7 @@ tuned per figure — and documented here.
 from __future__ import annotations
 
 from repro.machine.device import Device, DeviceKind, ToolchainProfile
+from repro.machine.interconnect import Interconnect
 from repro.stdpar.progress import ForwardProgress
 
 _CPU = DeviceKind.CPU
@@ -193,6 +194,37 @@ HOST = Device(
     profiles=(ToolchainProfile("cpython", 1.0, 1.0, 1.0),),
 )
 DEVICES[HOST.key] = HOST
+
+
+# --- Interconnect link classes (repro.distributed fabric) -------------
+# Latencies are software-visible small-message latencies (library
+# included), bandwidths sustained per-direction per-link; both are
+# plausibility classes like the atomic latencies above — fixed once,
+# globally, and only their relative ordering matters to the figures.
+INTERCONNECTS: dict[str, Interconnect] = {
+    ic.key: ic
+    for ic in (
+        # NVLink-class: direct GPU-to-GPU inside one chassis.
+        Interconnect("nvlink4", "NVLink 4 (Hopper)", "intra-node", 2.0, 450.0),
+        Interconnect("nvlink3", "NVLink 3 (Ampere)", "intra-node", 2.2, 300.0),
+        Interconnect("xgmi3", "Infinity Fabric 3", "intra-node", 2.5, 350.0),
+        Interconnect("pcie5", "PCIe 5.0 x16", "intra-node", 4.0, 55.0),
+        # IB-class: NIC-routed, crosses chassis.
+        Interconnect("ib-ndr", "InfiniBand NDR400", "inter-node", 3.5, 50.0),
+        Interconnect("ib-hdr", "InfiniBand HDR200", "inter-node", 4.0, 25.0),
+        Interconnect("roce100", "100G RoCE", "inter-node", 8.0, 12.5),
+    )
+}
+
+
+def get_interconnect(key: str) -> Interconnect:
+    """Look up an interconnect link class by key (``'nvlink4'``)."""
+    try:
+        return INTERCONNECTS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown interconnect {key!r}; have {sorted(INTERCONNECTS)}"
+        ) from None
 
 
 def get_device(key: str) -> Device:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 
 from repro.machine.counters import Counters, StepCounters
 from repro.machine.device import Device
+from repro.machine.interconnect import Interconnect
 
 #: Cost of one sort comparison (comparator call + swap amortized), ns,
 #: on one core at efficiency 1.  Parallel sorts scale with core count.
@@ -69,24 +70,31 @@ class TimeBreakdown:
     sort: float
     launch: float
     serial: float = 0.0
+    comm: float = 0.0
 
     @property
     def total(self) -> float:
         # Compute and memory overlap (roofline); the rest serializes.
         return (max(self.compute, self.memory) + self.atomics + self.sort
-                + self.launch + self.serial)
+                + self.launch + self.serial + self.comm)
 
 
 class CostModel:
     """Predicts execution time of counted work on a catalog device."""
 
     def __init__(self, device: Device, *, toolchain: str | None = None,
-                 sequential: bool = False):
+                 sequential: bool = False,
+                 interconnect: Interconnect | None = None):
         self.device = device
         self.profile = device.toolchain_profile(
             toolchain if toolchain is not None else device.default_toolchain
         )
         self.sequential = sequential
+        #: When set, ``comm_*`` counters are charged at this link's
+        #: alpha-beta cost (the single-link-class approximation; the
+        #: distributed fabric computes per-link times itself and feeds
+        #: them through :class:`repro.distributed.fabric.Fabric`).
+        self.interconnect = interconnect
 
     # ------------------------------------------------------------------
     def step_time(self, c: Counters) -> TimeBreakdown:
@@ -177,7 +185,13 @@ class CostModel:
         # Single-work-group sections are latency-bound regardless of the
         # device's width (sequential runs already serialize everything).
         serial = 0.0 if self.sequential else c.serial_node_ops * _SERIAL_OP_NS * 1e-9
-        return TimeBreakdown(compute, memory, atomics, sort, launch, serial)
+        comm = 0.0
+        if self.interconnect is not None and (
+                c.comm_bytes > 0 or c.comm_messages > 0):
+            comm = (c.comm_messages * self.interconnect.latency_us * 1e-6
+                    + c.comm_bytes / (self.interconnect.bandwidth_gbs * 1e9))
+        return TimeBreakdown(compute, memory, atomics, sort, launch, serial,
+                             comm)
 
     # ------------------------------------------------------------------
     def total_time(self, steps: StepCounters) -> float:

@@ -66,6 +66,12 @@ class Counters:
     #: Grouped traversal: body-node pairs evaluated from the lists (the
     #: dense tile work, including padding entries of partial groups).
     list_eval_interactions: float = 0.0
+    #: Bytes crossing the modeled interconnect fabric (LET halo nodes,
+    #: migrated bodies, collective partials); charged at link bandwidth
+    #: by the cost model, never at memory bandwidth.
+    comm_bytes: float = 0.0
+    #: Point-to-point fabric messages; each pays the link latency.
+    comm_messages: float = 0.0
     #: Number of parallel-algorithm invocations (kernel launches).
     kernel_launches: float = 0.0
     #: Number of scheduler preemptions / lock retries observed (only

@@ -1,0 +1,55 @@
+"""Interconnect link classes for the modeled multi-rank fabric.
+
+The single-device cost model charges compute, memory, atomics, sorts
+and launches; once a simulation shards across ranks
+(:mod:`repro.distributed`), messages crossing the fabric must be
+charged too.  An :class:`Interconnect` is a *link class* — a
+latency/bandwidth pair representative of a family of real links
+(NVLink-class intra-node, InfiniBand-class inter-node, ...), in the
+same spirit as the device catalog's atomic-latency classes: chosen
+once, globally, for plausible *relative* ordering rather than absolute
+accuracy.
+
+A message of ``b`` bytes on a link costs
+
+    seconds = latency_us * 1e-6 + b / (bandwidth_gbs * 1e9)
+
+which is the classic alpha-beta (Hockney) model.  The catalog's
+interconnect table lives in :mod:`repro.machine.catalog` next to the
+device table it extends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """One fabric link class (alpha-beta parameters)."""
+
+    key: str            # short identifier ("nvlink4", "ib-ndr", ...)
+    name: str           # human-readable family name
+    #: Where the link class typically sits: "intra-node" links connect
+    #: ranks inside one chassis, "inter-node" links cross chassis.
+    scope: str
+    #: One-way small-message latency (software included), microseconds.
+    latency_us: float
+    #: Sustained per-direction bandwidth of one link, GB/s.
+    bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth_gbs must be positive")
+        if self.scope not in ("intra-node", "inter-node"):
+            raise ValueError("scope must be 'intra-node' or 'inter-node'")
+
+    # ------------------------------------------------------------------
+    def message_seconds(self, n_bytes: float) -> float:
+        """Alpha-beta time of one *n_bytes* message on this link."""
+        return self.latency_us * 1e-6 + float(n_bytes) / (self.bandwidth_gbs * 1e9)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} ({self.latency_us} us, {self.bandwidth_gbs} GB/s)"

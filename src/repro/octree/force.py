@@ -299,6 +299,11 @@ def _octree_tree_view(pool: OctreePool) -> TreeView:
     )
 
 
+#: Public alias: the distributed runtime builds LETs and cross-rank
+#: interaction lists against this same view.
+octree_tree_view = _octree_tree_view
+
+
 def octree_accelerations_grouped(
     pool: OctreePool,
     x: np.ndarray,

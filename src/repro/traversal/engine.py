@@ -351,6 +351,7 @@ def account_grouped_force(
     built: bool = True,
     flops_per_visit: float = 8.0,
     sort_comparisons: float = 0.0,
+    launches: float | None = None,
 ) -> None:
     """Charge a grouped force evaluation (list-build vs list-eval split).
 
@@ -360,6 +361,12 @@ def account_grouped_force(
     its per-thread work (no divergence inflation).  The eval is a dense
     streaming tile.  When the lists come from the cross-timestep cache
     (``built=False``), only the eval side is charged.
+
+    *launches* overrides the kernel-launch charge (default: 2 for
+    build+eval, 1 for eval-only).  Callers that batch several list
+    evaluations into one device launch pair — the distributed runtime
+    evaluates every remote rank's halo tiles back to back — pass 0 for
+    the batched-in calls so the fixed launch overhead is charged once.
     """
     build_steps = float(lists.steps.sum()) if built else 0.0
     entries = float(lists.n_entries)
@@ -384,6 +391,6 @@ def account_grouped_force(
         list_build_steps=build_steps,
         list_eval_interactions=float(pairs),
         loop_iterations=float(groups.n_groups + n_bodies),
-        kernel_launches=2.0 if built else 1.0,
+        kernel_launches=(2.0 if built else 1.0) if launches is None else launches,
         sort_comparisons=sort_comparisons,
     )

@@ -1,0 +1,67 @@
+"""The shared BENCH_*.json schema (repro.bench.record)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    BenchRecord,
+    bench_path,
+    read_bench_json,
+    write_bench_json,
+)
+
+
+def _rec(**kw) -> BenchRecord:
+    base = dict(workload="galaxy", n=1000, config={"theta": 0.5},
+                host_seconds=0.1, model_seconds=1e-4)
+    base.update(kw)
+    return BenchRecord(**base)
+
+
+class TestBenchRecord:
+    def test_round_trip(self, tmp_path):
+        path = write_bench_json(
+            "unit", [_rec(), _rec(n=2000, model_seconds=None)],
+            out_dir=tmp_path, meta={"device": "gh200"},
+        )
+        assert path == bench_path("unit", tmp_path)
+        assert path.name == "BENCH_unit.json"
+        payload = read_bench_json(path)
+        assert payload["schema"] == SCHEMA
+        assert payload["meta"] == {"device": "gh200"}
+        recs = payload["records"]
+        assert [r["n"] for r in recs] == [1000, 2000]
+        assert recs[0]["workload"] == "galaxy"
+        assert recs[0]["config"] == {"theta": 0.5}
+        assert recs[0]["host_seconds"] == pytest.approx(0.1)
+        assert recs[0]["model_seconds"] == pytest.approx(1e-4)
+        assert recs[1]["model_seconds"] is None
+
+    def test_plain_dict_records(self, tmp_path):
+        row = _rec().to_dict()
+        path = write_bench_json("dicts", [row], out_dir=tmp_path)
+        assert read_bench_json(path)["records"] == [row]
+
+    def test_missing_field_rejected(self, tmp_path):
+        row = _rec().to_dict()
+        del row["model_seconds"]
+        with pytest.raises(ValueError, match="model_seconds"):
+            write_bench_json("bad", [row], out_dir=tmp_path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        p = tmp_path / "BENCH_x.json"
+        p.write_text(json.dumps({"schema": "other", "records": []}))
+        with pytest.raises(ValueError, match="schema"):
+            read_bench_json(p)
+
+    def test_extra_metrics_preserved(self, tmp_path):
+        path = write_bench_json(
+            "extra", [_rec(extra={"efficiency": 0.72, "ranks": 8})],
+            out_dir=tmp_path,
+        )
+        rec = read_bench_json(path)["records"][0]
+        assert rec["extra"] == {"efficiency": 0.72, "ranks": 8}

@@ -118,3 +118,124 @@ class TestAllPairsIgnoresCache:
     def test_no_cache_entries(self):
         _, _, sim = run("all-pairs", 4)
         assert sim._tree_cache == {}
+
+
+THETA = 0.4
+GROUP_SIZE = 16
+
+
+def grun(alg, reuse, steps=6, n=250, dt=1e-3):
+    s = galaxy_collision(n, seed=1)
+    cfg = SimulationConfig(algorithm=alg, theta=THETA, dt=dt, gravity=PARAMS,
+                           tree_reuse_steps=reuse,
+                           traversal="grouped", group_size=GROUP_SIZE)
+    sim = Simulation(s, cfg)
+    rep = sim.run(steps)
+    return s, rep, sim
+
+
+def _assert_superset_mac(view, lists, groups, x_sorted, slack=1.0):
+    """Every accepted (approx) node satisfies the *per-body* MAC for
+    every member body of its group: the conservative group MAC used
+    dmin <= d_i, so group-accept implies body-accept — the cached group
+    lists only ever open MORE than any member's own walk would.
+    *slack* loosens the bound for positions that drifted since the
+    lists were built (reuse steps)."""
+    go = groups.offsets
+    checked = 0
+    for g in range(lists.n_groups):
+        nodes = lists.approx_nodes(g)
+        if nodes.size == 0:
+            continue
+        xs = x_sorted[int(go[g]):int(go[g + 1])]
+        for v in nodes:
+            d2 = np.min(np.sum((xs - view.com[v]) ** 2, axis=1))
+            assert view.size2[v] <= THETA * THETA * d2 * slack, (
+                f"group {g} accepted node {v} violating a member's MAC")
+            checked += 1
+    assert checked > 0
+
+
+class TestGroupedListCache:
+    """The interaction-list cache under ``tree_reuse_steps > 1``:
+    lists expire with the tree structure, stay conservative-MAC
+    supersets for every member body, and keep the theta error bound
+    when evaluated against the refreshed multipoles."""
+
+    ILIST_KEY = ("ilists", THETA, GROUP_SIZE)
+
+    def test_lists_live_in_structure_entry(self):
+        _, _, sim = grun("octree", 4)
+        entry = sim._tree_cache["octree"]
+        assert self.ILIST_KEY in entry
+        assert entry[self.ILIST_KEY]["lists"].theta == THETA
+
+    def test_list_builds_amortized(self):
+        """With reuse=k the group walk runs ~steps/k times; the dense
+        tile evaluation still runs every step."""
+        _, rep1, _ = grun("octree", 1, steps=8)
+        _, rep4, _ = grun("octree", 4, steps=8)
+        b1 = rep1.counters.steps["force"].list_build_steps
+        b4 = rep4.counters.steps["force"].list_build_steps
+        assert 0 < b4 < 0.5 * b1
+        e1 = rep1.counters.steps["force"].list_eval_interactions
+        e4 = rep4.counters.steps["force"].list_eval_interactions
+        assert e4 > 0.5 * e1  # eval work does not disappear
+
+    def test_octree_cached_lists_superset_mac(self):
+        from repro.octree.force import octree_tree_view
+
+        _, _, sim = grun("octree", 8, steps=5)
+        entry = sim._tree_cache["octree"]
+        cached = entry[self.ILIST_KEY]
+        view = octree_tree_view(entry["structure"])
+        x_sorted = sim.system.x[cached["perm"]]
+        # Multipole COMs were refreshed at the current positions while
+        # the lists are up to 5 steps stale; allow the drift slack.
+        _assert_superset_mac(view, cached["lists"], cached["groups"],
+                             x_sorted, slack=1.05)
+
+    def test_bvh_cached_lists_superset_mac(self):
+        from repro.bvh.build import assemble_bvh
+        from repro.bvh.force import bvh_tree_view
+
+        _, _, sim = grun("bvh", 8, steps=5)
+        entry = sim._tree_cache["bvh"]
+        cached = entry[self.ILIST_KEY]
+        perm, box = entry["structure"]
+        # The BVH is reassembled from the cached permutation at current
+        # positions every step — exactly what the cached lists index.
+        bvh = assemble_bvh(sim.system.x, sim.system.m, perm, box)
+        _assert_superset_mac(bvh_tree_view(bvh), cached["lists"],
+                             cached["groups"], bvh.x_sorted, slack=1.05)
+
+    def test_fresh_lists_superset_mac_exact(self):
+        """At build time (no drift) the superset property is exact."""
+        from repro.octree.build_vectorized import build_octree_vectorized
+        from repro.octree.multipoles import compute_multipoles_vectorized
+        from repro.octree.force import octree_accelerations_grouped, octree_tree_view
+
+        s = galaxy_collision(300, seed=3)
+        pool = build_octree_vectorized(s.x)
+        compute_multipoles_vectorized(pool, s.x, s.m, None)
+        entry: dict = {}
+        octree_accelerations_grouped(pool, s.x, s.m, PARAMS, theta=THETA,
+                                     group_size=GROUP_SIZE, cache=entry)
+        cached = entry[self.ILIST_KEY]
+        _assert_superset_mac(octree_tree_view(pool), cached["lists"],
+                             cached["groups"], s.x[cached["perm"]], slack=1.0)
+
+    @pytest.mark.parametrize("alg", ["octree", "bvh"])
+    def test_theta_error_bound_with_cached_lists(self, alg):
+        """Cached lists + refreshed multipoles stay within the theta
+        accuracy class of a full rebuild at the same positions."""
+        _, _, sim = grun(alg, 16, steps=5)
+        acc_cached = sim.evaluate_forces()  # age 6 < 16: cache hit
+
+        fresh = Simulation(
+            sim.system,
+            SimulationConfig(algorithm=alg, theta=THETA, gravity=PARAMS,
+                             traversal="grouped", group_size=GROUP_SIZE),
+        )
+        acc_fresh = fresh.evaluate_forces()
+        assert relative_l2_error(acc_cached, acc_fresh) < 0.12 * THETA
