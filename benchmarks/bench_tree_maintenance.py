@@ -1,0 +1,220 @@
+"""Microbenchmark: amortized tree-maintenance cost, rebuild vs refit.
+
+Runs the full time-integration loop on the galaxy workload for each
+tree strategy under the three ``tree_update`` policies and splits the
+cost-model's per-phase time into *maintenance* (encode + sort +
+build_tree + refit) and everything else:
+
+* ``rebuild`` — the baseline: encode, sort and build every step;
+* ``refit``   — refit whenever the epoch's curve order still holds,
+  falling back to a rebuild on disorder/drift violations;
+* ``auto``    — the cost-model policy that picks per step from the
+  measured build/refit/traverse split.
+
+Times are the deterministic cost-model projection on a pinned device
+(GH200) so the bench is reproducible across hosts; host wall clock is
+recorded alongside for reference.
+
+Usage::
+
+    python benchmarks/bench_tree_maintenance.py            # full, N=10000
+    python benchmarks/bench_tree_maintenance.py --smoke    # quick CI check
+    pytest benchmarks/bench_tree_maintenance.py            # smoke via pytest
+
+The full run asserts the tentpole target: >= 2x reduction in amortized
+per-step maintenance time with ``auto`` vs ``rebuild`` at N=1e4, force
+error within the cached-list theta bound, and bit-exact zero-drift
+refit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.bench import BenchRecord, format_table, write_bench_json
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.machine import get_device
+from repro.machine.costmodel import CostModel
+from repro.physics.accuracy import relative_l2_error
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams
+from repro.stdpar.context import ExecutionContext
+from repro.workloads import galaxy_collision
+
+PARAMS = GravityParams(softening=0.05)
+THETA = 0.5
+GROUP_SIZE = 32
+DT = 1e-3
+DEVICE = "gh200"
+MODES = ("rebuild", "refit", "auto")
+TREES = ("bvh", "octree")
+#: The phases the tentpole amortizes (ISSUE acceptance metric).
+MAINT_PHASES = ("encode", "sort", "build_tree", "refit")
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _config(tree: str, mode: str) -> SimulationConfig:
+    return SimulationConfig(
+        algorithm=tree, theta=THETA, dt=DT, gravity=PARAMS,
+        traversal="grouped", group_size=GROUP_SIZE, tree_update=mode,
+    )
+
+
+def _run_mode(tree: str, mode: str, n: int, steps: int) -> dict:
+    system = galaxy_collision(n, seed=0)
+    ctx = ExecutionContext(get_device(DEVICE))
+    sim = Simulation(system, _config(tree, mode), ctx=ctx)
+    t0 = time.perf_counter()
+    rep = sim.run(steps)
+    host = time.perf_counter() - t0
+    model = CostModel(get_device(DEVICE))
+    times = model.step_times(rep.counters)
+    maint = sum(times.get(p, 0.0) for p in MAINT_PHASES) / steps
+    total = sum(times.values()) / steps
+    counts = {"rebuild": steps, "refit": 0, "lists_dropped": 0}
+    maintainer = sim._tree_cache.get("_maintainer")
+    if maintainer is not None:
+        counts = dict(maintainer.counts)
+
+    # Force error at the final (drifted) state vs a fresh rebuild.
+    acc = sim.evaluate_forces()
+    fresh = Simulation(
+        BodySystem(system.x.copy(), system.v.copy(), system.m.copy()),
+        _config(tree, "rebuild"), ctx=ExecutionContext(get_device(DEVICE)),
+    )
+    err = relative_l2_error(acc, fresh.evaluate_forces())
+    return {
+        "tree": tree, "mode": mode, "host_seconds": host,
+        "maint_s_per_step": maint, "model_s_per_step": total,
+        "rel_err_vs_rebuild": err, **{f"n_{k}": v for k, v in counts.items()},
+    }
+
+
+def _zero_drift_bitexact(tree: str, n: int = 512) -> bool:
+    """Refit at unchanged positions must equal a rebuild bitwise."""
+    mk = lambda: Simulation(
+        galaxy_collision(n, seed=3), _config(tree, "refit"),
+        ctx=ExecutionContext(get_device(DEVICE)),
+    )
+    refitted = mk()
+    rebuilt = mk()
+    rebuilt._tree_cache.clear()  # forget the epoch -> forced rebuild
+    return bool(np.array_equal(refitted.evaluate_forces(),
+                               rebuilt.evaluate_forces()))
+
+
+def sweep(n: int, steps: int) -> list[dict]:
+    rows = []
+    for tree in TREES:
+        base = None
+        for mode in MODES:
+            r = _run_mode(tree, mode, n, steps)
+            if mode == "rebuild":
+                base = r["maint_s_per_step"]
+            r["maint_speedup"] = base / max(r["maint_s_per_step"], 1e-30)
+            rows.append(r)
+    return rows
+
+
+def _records(rows: list[dict], n: int, steps: int) -> list[BenchRecord]:
+    return [
+        BenchRecord(
+            workload="galaxy", n=n,
+            config={"tree": r["tree"], "mode": r["mode"], "theta": THETA,
+                    "group_size": GROUP_SIZE, "dt": DT, "steps": steps,
+                    "device": DEVICE},
+            host_seconds=r["host_seconds"],
+            model_seconds=r["model_s_per_step"],
+            extra={k: r[k] for k in
+                   ("maint_s_per_step", "maint_speedup", "rel_err_vs_rebuild",
+                    "n_rebuild", "n_refit", "n_lists_dropped")},
+        )
+        for r in rows
+    ]
+
+
+def _report(rows: list[dict], n: int, steps: int) -> str:
+    cols = [{k: r[k] for k in ("tree", "mode", "maint_s_per_step",
+                               "maint_speedup", "model_s_per_step",
+                               "rel_err_vs_rebuild", "n_rebuild", "n_refit")}
+            for r in rows]
+    return format_table(
+        cols, title=f"Tree maintenance, galaxy N={n}, {steps} steps, "
+                    f"theta={THETA}, modeled on {DEVICE}")
+
+
+def run(n: int, steps: int, *, min_speedup: float | None) -> int:
+    rows = sweep(n, steps)
+    print(_report(rows, n, steps))
+    path = write_bench_json(
+        "tree_maintenance", _records(rows, n, steps), out_dir=RESULTS_DIR,
+        meta={"theta": THETA, "dt": DT, "steps": steps, "device": DEVICE},
+    )
+    print(f"[saved to {path}]")
+    status = 0
+    for tree in TREES:
+        if not _zero_drift_bitexact(tree):
+            print(f"FAIL: {tree} zero-drift refit not bit-exact")
+            status = 1
+    by = {(r["tree"], r["mode"]): r for r in rows}
+    for tree in TREES:
+        auto = by[(tree, "auto")]
+        for mode in ("refit", "auto"):
+            err = by[(tree, mode)]["rel_err_vs_rebuild"]
+            if not err < 0.12 * THETA:
+                print(f"FAIL: {tree}/{mode} error {err:.3g} exceeds theta bound")
+                status = 1
+        if min_speedup is not None and auto["maint_speedup"] < min_speedup:
+            print(f"FAIL: {tree} auto maintenance speedup "
+                  f"{auto['maint_speedup']:.2f}x < required {min_speedup}x")
+            status = 1
+    if status == 0:
+        print("OK: zero-drift bit-exact, theta bound held"
+              + (f", auto >= {min_speedup}x over rebuild"
+                 if min_speedup is not None else ""))
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small, fast run (low speedup floor; CI sanity check)")
+    ap.add_argument("--n", type=int, default=None)
+    ap.add_argument("--steps", type=int, default=None)
+    args = ap.parse_args(argv)
+    if args.smoke:
+        return run(args.n or 2000, args.steps or 6, min_speedup=1.1)
+    return run(args.n or 10_000, args.steps or 32, min_speedup=2.0)
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="maintenance")
+    def test_tree_maintenance_smoke(benchmark, emit, results_dir):
+        rows = benchmark.pedantic(lambda: sweep(2000, 6),
+                                  rounds=1, iterations=1)
+        emit("tree_maintenance_smoke", _report(rows, 2000, 6))
+        write_bench_json("tree_maintenance", _records(rows, 2000, 6),
+                         out_dir=results_dir,
+                         meta={"theta": THETA, "dt": DT, "steps": 6,
+                               "device": DEVICE, "smoke": True})
+        by = {(r["tree"], r["mode"]): r for r in rows}
+        for tree in TREES:
+            assert by[(tree, "auto")]["maint_speedup"] > 1.1
+            assert by[(tree, "refit")]["rel_err_vs_rebuild"] < 0.12 * THETA
+            assert _zero_drift_bitexact(tree, n=256)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

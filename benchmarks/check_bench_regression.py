@@ -1,0 +1,117 @@
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+For every baseline file under ``benchmarks/baselines/`` the same-named
+fresh file must exist in the results directory, every baseline record
+must be matchable by its identity key ``(workload, n, config)``, and
+the matched record's deterministic metrics — ``model_seconds`` plus
+every numeric ``extra`` — must agree within a relative tolerance band.
+``host_seconds`` is wall clock of whatever machine ran the bench and is
+never compared.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        [--results benchmarks/results] [--baselines benchmarks/baselines] \
+        [--rtol 0.25]
+
+Exit status 1 on any missing file, unmatched record, or out-of-band
+metric; 0 otherwise.  Regenerate a baseline by copying the fresh file
+over it (and eyeballing the diff) when an intentional change shifts
+the modeled numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_RTOL = 0.25
+#: Absolute floor below which two metrics are considered equal (guards
+#: ratios of near-zero error/drop counters).
+ATOL = 1e-12
+
+
+def _key(rec: dict) -> tuple:
+    return (rec["workload"], int(rec["n"]),
+            json.dumps(rec.get("config", {}), sort_keys=True))
+
+
+def _metrics(rec: dict) -> dict[str, float]:
+    out = {}
+    if rec.get("model_seconds") is not None:
+        out["model_seconds"] = float(rec["model_seconds"])
+    for k, v in (rec.get("extra") or {}).items():
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            continue
+        out[f"extra.{k}"] = float(v)
+    return out
+
+
+def _within(fresh: float, base: float, rtol: float) -> bool:
+    return abs(fresh - base) <= max(rtol * abs(base), ATOL)
+
+
+def check_file(fresh_path: pathlib.Path, base_path: pathlib.Path,
+               rtol: float) -> list[str]:
+    problems: list[str] = []
+    base = json.loads(base_path.read_text())
+    fresh = json.loads(fresh_path.read_text())
+    fresh_by_key: dict[tuple, dict] = {}
+    for rec in fresh.get("records", []):
+        fresh_by_key[_key(rec)] = rec
+    for rec in base.get("records", []):
+        got = fresh_by_key.get(_key(rec))
+        if got is None:
+            problems.append(f"{base_path.name}: no fresh record for "
+                            f"{rec['workload']} n={rec['n']} "
+                            f"{rec.get('config')}")
+            continue
+        want = _metrics(rec)
+        have = _metrics(got)
+        for name, b in want.items():
+            f = have.get(name)
+            if f is None:
+                problems.append(f"{base_path.name}: {_key(rec)[2]}: "
+                                f"metric {name} missing from fresh record")
+            elif not _within(f, b, rtol):
+                problems.append(
+                    f"{base_path.name}: {_key(rec)[2]}: {name} = {f:.6g} "
+                    f"vs baseline {b:.6g} (> {rtol:.0%} band)")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    here = pathlib.Path(__file__).parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--results", type=pathlib.Path, default=here / "results")
+    ap.add_argument("--baselines", type=pathlib.Path,
+                    default=here / "baselines")
+    ap.add_argument("--rtol", type=float, default=DEFAULT_RTOL)
+    args = ap.parse_args(argv)
+
+    baselines = sorted(args.baselines.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {args.baselines}; nothing to check")
+        return 0
+    problems: list[str] = []
+    for base_path in baselines:
+        fresh_path = args.results / base_path.name
+        if not fresh_path.exists():
+            problems.append(f"{base_path.name}: fresh result missing "
+                            f"(expected {fresh_path})")
+            continue
+        problems += check_file(fresh_path, base_path, args.rtol)
+    if problems:
+        print(f"REGRESSION CHECK FAILED ({len(problems)} problem(s)):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print(f"regression check OK: {len(baselines)} baseline file(s) within "
+          f"{args.rtol:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,31 +47,40 @@ def hilbert_sort_permutation(
     bits: int | None = None,
     ctx: ExecutionContext | None = None,
     curve: str = "hilbert",
+    keys: np.ndarray | None = None,
 ) -> np.ndarray:
     """Permutation ordering bodies along the space-filling curve.
 
     ``curve='morton'`` is provided for the ordering ablation (the
     related-work BVH builders sort by Morton codes; the paper argues for
     Hilbert + pairwise aggregation).
+
+    ``keys`` short-circuits the encode: pass curve keys already computed
+    for these positions (e.g. shared with the distributed partitioner
+    through :class:`repro.maintenance.KeyCache`) and only the sort runs
+    — and is charged.
     """
     x = np.asarray(x, dtype=FLOAT)
     n, dim = x.shape
     if n == 0:
         return np.empty(0, dtype=INDEX)
-    bits = default_sort_bits(dim) if bits is None else bits
-    grid = quantize_to_grid(x, box, bits)
-    if curve == "hilbert":
-        keys = hilbert_encode(grid, bits)
-    elif curve == "morton":
-        keys = morton_encode(grid, bits)
-    else:
-        raise ValueError(f"unknown curve {curve!r}")
+    if keys is None:
+        bits = default_sort_bits(dim) if bits is None else bits
+        grid = quantize_to_grid(x, box, bits)
+        if curve == "hilbert":
+            keys = hilbert_encode(grid, bits)
+        elif curve == "morton":
+            keys = morton_encode(grid, bits)
+        else:
+            raise ValueError(f"unknown curve {curve!r}")
+        if ctx is not None:
+            # Key computation cost: ~bits*dim bit-ops per body.
+            ctx.counters.add(flops=float(n * bits * dim),
+                             bytes_read=8.0 * n * dim,
+                             bytes_written=8.0 * n)
     if ctx is not None:
         from repro.stdpar.algorithms import sort_by_key
 
-        # Key computation cost: ~bits*dim bit-ops per body.
-        ctx.counters.add(flops=float(n * bits * dim), bytes_read=8.0 * n * dim,
-                         bytes_written=8.0 * n)
         return sort_by_key(par, keys, ctx)
     return np.argsort(keys, kind="stable")
 
@@ -172,9 +181,46 @@ def assemble_bvh(
     mass[fl : fl + n] = ms
     count[fl : fl + n] = 1
 
-    # Level-by-level pairwise reduction (Fig. 4): each uninitialized
-    # coarser node reduces its two children; all reductions at a level
-    # are independent (par_unseq).
+    _reduce_geometry_levels(layout, bb_lo, bb_hi, com_w, mass=mass, count=count)
+    com = _finalize_coms(layout, com_w, mass, count, xs)
+    quad = _reduce_quadrupoles(layout, mass, com) if order == 2 else None
+
+    if ctx is not None:
+        # Streaming reduction: every node is written once and every
+        # child read once; ~ (2 boxes + com + mass + count) * 8 bytes.
+        node_bytes = (4.0 * dim + 2.0) * 8.0 + (72.0 if order == 2 else 0.0)
+        ctx.counters.add(
+            flops=10.0 * dim * nn,
+            bytes_read=2.0 * node_bytes * nn,
+            bytes_written=node_bytes * nn,
+            loop_iterations=float(nn),
+            kernel_launches=float(layout.n_levels),
+        )
+
+    return BVH(
+        layout=layout, box=box, perm=perm,
+        bb_lo=bb_lo, bb_hi=bb_hi, com=com, mass=mass, count=count,
+        x_sorted=xs, m_sorted=ms, quad=quad,
+    )
+
+
+def _reduce_geometry_levels(
+    layout: BVHLayout,
+    bb_lo: np.ndarray,
+    bb_hi: np.ndarray,
+    com_w: np.ndarray,
+    *,
+    mass: np.ndarray | None = None,
+    count: np.ndarray | None = None,
+) -> None:
+    """Level-by-level pairwise reduction (Fig. 4), in place.
+
+    Each uninitialized coarser node reduces its two children; all
+    reductions at a level are independent (``par_unseq``).  ``mass`` /
+    ``count`` are optional because a refit leaves them untouched (body
+    masses and leaf membership are fixed between full builds).
+    """
+    dim = bb_lo.shape[1]
     for level in range(layout.n_levels - 2, -1, -1):
         sl = layout.level_slice(level)
         cl = layout.level_slice(level + 1)
@@ -182,9 +228,23 @@ def assemble_bvh(
         bb_lo[sl] = bb_lo[cl].reshape(k, 2, dim).min(axis=1)
         bb_hi[sl] = bb_hi[cl].reshape(k, 2, dim).max(axis=1)
         com_w[sl] = com_w[cl].reshape(k, 2, dim).sum(axis=1)
-        mass[sl] = mass[cl].reshape(k, 2).sum(axis=1)
-        count[sl] = count[cl].reshape(k, 2).sum(axis=1)
+        if mass is not None:
+            mass[sl] = mass[cl].reshape(k, 2).sum(axis=1)
+        if count is not None:
+            count[sl] = count[cl].reshape(k, 2).sum(axis=1)
 
+
+def _finalize_coms(
+    layout: BVHLayout,
+    com_w: np.ndarray,
+    mass: np.ndarray,
+    count: np.ndarray,
+    xs: np.ndarray,
+) -> np.ndarray:
+    """Weighted coms, with the bitwise-exactness fixups."""
+    dim = xs.shape[1] if xs.ndim == 2 else com_w.shape[1]
+    n = xs.shape[0]
+    fl = layout.first_leaf
     with np.errstate(invalid="ignore", divide="ignore"):
         com = np.where(mass[:, None] > 0.0, com_w / np.maximum(mass[:, None], 1e-300), 0.0)
     # Leaf coms must be bitwise equal to the body positions: (m*x)/m is
@@ -206,39 +266,91 @@ def assemble_bvh(
             ccount = count[cl].reshape(k, 2)
             pick = np.argmax(ccount[single], axis=1)
             com[sl.start + single] = com[cl].reshape(k, 2, dim)[single, pick]
+    return com
 
-    quad = None
-    if order == 2:
-        from repro.physics.multipole import combine_quadrupoles
 
-        # Single-body (and empty) leaves have zero quadrupole; coarser
-        # levels combine pairwise about the final coms.
-        quad = np.zeros((nn, dim, dim), dtype=FLOAT)
-        for level in range(layout.n_levels - 2, -1, -1):
-            sl = layout.level_slice(level)
-            cl = layout.level_slice(level + 1)
-            k = sl.stop - sl.start
-            quad[sl] = combine_quadrupoles(
-                quad[cl].reshape(k, 2, dim, dim),
-                mass[cl].reshape(k, 2),
-                com[cl].reshape(k, 2, dim),
-                com[sl],
-            )
+def _reduce_quadrupoles(
+    layout: BVHLayout,
+    mass: np.ndarray,
+    com: np.ndarray,
+) -> np.ndarray:
+    """Traceless quadrupoles combined pairwise about the final coms.
+
+    Single-body (and empty) leaves have zero quadrupole.
+    """
+    from repro.physics.multipole import combine_quadrupoles
+
+    nn = layout.n_nodes
+    dim = com.shape[1]
+    quad = np.zeros((nn, dim, dim), dtype=FLOAT)
+    for level in range(layout.n_levels - 2, -1, -1):
+        sl = layout.level_slice(level)
+        cl = layout.level_slice(level + 1)
+        k = sl.stop - sl.start
+        quad[sl] = combine_quadrupoles(
+            quad[cl].reshape(k, 2, dim, dim),
+            mass[cl].reshape(k, 2),
+            com[cl].reshape(k, 2, dim),
+            com[sl],
+        )
+    return quad
+
+
+def refit_bvh(
+    bvh: BVH,
+    x: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+) -> BVH:
+    """Refit the BVH to moved bodies, keeping the sort permutation.
+
+    Runs the same fused bottom-up level sweep as :func:`assemble_bvh`
+    but skips encode, sort and the mass/count reductions (masses and
+    leaf membership are unchanged between full builds), so the result is
+    *bitwise identical* to ``assemble_bvh(x, m, bvh.perm, bvh.box)`` at
+    any positions ``x`` — the refit itself is exact; only the staleness
+    of the permutation (and of cached interaction lists) approximates.
+
+    Modeled as a single fused kernel: leaves are streamed once from the
+    gathered positions and every node's box + weighted com is written
+    once — one launch, no sort traffic.
+    """
+    x = np.asarray(x, dtype=FLOAT)
+    n, dim = x.shape
+    if n != bvh.n_bodies:
+        raise ValueError("refit requires an unchanged body count")
+    layout = bvh.layout
+    nn = layout.n_nodes
+    xs = x[bvh.perm]
+    ms = bvh.m_sorted
+
+    bb_lo = np.full((nn, dim), np.inf, dtype=FLOAT)
+    bb_hi = np.full((nn, dim), -np.inf, dtype=FLOAT)
+    com_w = np.zeros((nn, dim), dtype=FLOAT)
+    fl = layout.first_leaf
+    bb_lo[fl : fl + n] = xs
+    bb_hi[fl : fl + n] = xs
+    com_w[fl : fl + n] = ms[:, None] * xs
+
+    _reduce_geometry_levels(layout, bb_lo, bb_hi, com_w)
+    com = _finalize_coms(layout, com_w, bvh.mass, bvh.count, xs)
+    order = 2 if bvh.quad is not None else 1
+    quad = _reduce_quadrupoles(layout, bvh.mass, com) if order == 2 else None
 
     if ctx is not None:
-        # Streaming reduction: every node is written once and every
-        # child read once; ~ (2 boxes + com + mass + count) * 8 bytes.
-        node_bytes = (4.0 * dim + 2.0) * 8.0 + (72.0 if order == 2 else 0.0)
+        # Fused refit: read the n gathered positions + masses once plus
+        # the per-node count byte-stream for the fixups; write 2 boxes +
+        # com per node (mass/count untouched).  One launch.
         ctx.counters.add(
             flops=10.0 * dim * nn,
-            bytes_read=2.0 * node_bytes * nn,
-            bytes_written=node_bytes * nn,
+            bytes_read=8.0 * n * (dim + 1.0) + 8.0 * nn,
+            bytes_written=3.0 * dim * 8.0 * nn + (72.0 * nn if order == 2 else 0.0),
             loop_iterations=float(nn),
-            kernel_launches=float(layout.n_levels),
+            kernel_launches=1.0,
         )
 
     return BVH(
-        layout=layout, box=box, perm=perm,
-        bb_lo=bb_lo, bb_hi=bb_hi, com=com, mass=mass, count=count,
+        layout=layout, box=bvh.box, perm=bvh.perm,
+        bb_lo=bb_lo, bb_hi=bb_hi, com=com, mass=bvh.mass, count=bvh.count,
         x_sorted=xs, m_sorted=ms, quad=quad,
     )

@@ -238,6 +238,7 @@ def bvh_accelerations_grouped(
     simt_width: int = 32,
     cache: dict | None = None,
     eval_mode: str = "auto",
+    mac_margin: float = 0.0,
 ) -> np.ndarray:
     """BVH accelerations via group-coherent traversal.
 
@@ -262,7 +263,8 @@ def bvh_accelerations_grouped(
     view = _bvh_tree_view(bvh)
     if built:
         groups = make_groups(bvh.x_sorted, group_size)
-        lists = build_interaction_lists(view, groups, theta)
+        lists = build_interaction_lists(view, groups, theta,
+                                        mac_margin=mac_margin)
         cached = {"groups": groups, "lists": lists}
         if cache is not None:
             cache[key] = cached

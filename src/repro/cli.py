@@ -56,7 +56,9 @@ def _cmd_run(args) -> int:
                            rebalance_steps=args.rebalance_steps,
                            interconnect=args.interconnect,
                            ranks_per_node=args.ranks_per_node,
-                           inter_interconnect=args.inter_interconnect)
+                           inter_interconnect=args.inter_interconnect,
+                           tree_update=args.tree_update,
+                           drift_budget=args.drift_budget)
     e0 = energy_report(system, gravity) if system.n <= 20_000 else None
     sim = Simulation(system, cfg)
     rep = sim.run(args.steps)
@@ -78,11 +80,47 @@ def _cmd_run(args) -> int:
         for r in range(drep.n_ranks):
             print(f"  rank {r}: bodies={int(drep.counts[r])} "
                   f"compute={compute[r]:.3e}s comm={comm[r]:.3e}s")
+    if args.profile:
+        _print_profile(sim, rep, args.steps)
     if e0 is not None:
         e1 = energy_report(system, gravity)
         print(f"energy drift: {e1.drift_from(e0):.3e}  "
               f"(E0={e0.total:.6g}, E1={e1.total:.6g})")
     return 0
+
+
+def _print_profile(sim, rep, n_steps: int) -> None:
+    """``--profile``: per-phase modeled time + counter totals per step."""
+    from repro.core.simulation import STEP_ORDER
+    from repro.machine.costmodel import CostModel
+
+    model = CostModel(sim.ctx.device, toolchain=sim.ctx.toolchain)
+    times = model.step_times(rep.counters)
+    steps = max(n_steps, 1)
+    print(f"--- profile: modeled on {sim.ctx.device.name}, "
+          f"per step over {n_steps} ---")
+    print(f"  {'phase':16s} {'model s/step':>12s} {'flops':>10s} "
+          f"{'bytes':>10s} {'comm B':>10s} {'launches':>8s}")
+    total = 0.0
+    for phase in STEP_ORDER:
+        c = rep.counters.steps.get(phase)
+        if c is None:
+            continue
+        t = times.get(phase, 0.0) / steps
+        total += t
+        nbytes = (c.bytes_read + c.bytes_written + c.bytes_irregular) / steps
+        print(f"  {phase:16s} {t:12.3e} {c.flops / steps:10.3g} "
+              f"{nbytes:10.3g} {c.comm_bytes / steps:10.3g} "
+              f"{c.kernel_launches / steps:8.3g}")
+    print(f"  {'total':16s} {total:12.3e}")
+    counts = None
+    if sim.distributed is not None:
+        counts = sim.distributed.maint_counts
+    elif "_maintainer" in sim._tree_cache:
+        counts = sim._tree_cache["_maintainer"].counts
+    if counts is not None:
+        split = "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  tree maintenance: {split}")
 
 
 def _cmd_devices(_args) -> int:
@@ -190,6 +228,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--inter-interconnect", default="ib-ndr",
                    dest="inter_interconnect",
                    help="inter-node link class of the hierarchical fabric")
+    p.add_argument("--tree-update", default="rebuild", dest="tree_update",
+                   choices=["rebuild", "refit", "auto"],
+                   help="tree maintenance: rebuild every step, refit while "
+                        "the curve order holds, or cost-model auto policy")
+    p.add_argument("--drift-budget", type=float, default=0.01,
+                   dest="drift_budget",
+                   help="max body drift per epoch, as a fraction of the "
+                        "root cell side (bounds the refit MAC inflation)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase table of modeled time and "
+                        "counter totals per step")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("devices", help="list the device catalog")

@@ -170,20 +170,30 @@ class OctreeAlgorithm(ForceAlgorithm):
                     f"device {ctx.device.name!r} provides only "
                     f"{ctx.device.progress.name} (paper Section V-B: hangs)"
                 )
-        entry = _cache_entry(cache, "octree", config)
-        pool = None if entry is None else entry["structure"]
-        if pool is None:
-            box = self._bounding_box(system, ctx)
-            with ctx.step("build_tree"):
-                if ctx.backend == "reference":
-                    pool = build_octree_concurrent(
-                        system.x, bits=config.bits, box=box, ctx=ctx
-                    )
-                else:
-                    pool = build_octree_vectorized(
-                        system.x, bits=config.bits, box=box, ctx=ctx
-                    )
-            entry = _store_structure(cache, "octree", pool)
+        def build(box):
+            if ctx.backend == "reference":
+                return build_octree_concurrent(
+                    system.x, bits=config.bits, box=box, ctx=ctx
+                )
+            return build_octree_vectorized(
+                system.x, bits=config.bits, box=box, ctx=ctx
+            )
+
+        maint = None
+        if config.tree_update != "rebuild":
+            from repro.maintenance.maintainer import get_maintainer
+
+            maint = get_maintainer(cache, config, ctx)
+            pool = maint.maintain_octree(system, self, build)
+            entry = maint.entry
+        else:
+            entry = _cache_entry(cache, "octree", config)
+            pool = None if entry is None else entry["structure"]
+            if pool is None:
+                box = self._bounding_box(system, ctx)
+                with ctx.step("build_tree"):
+                    pool = build(box)
+                entry = _store_structure(cache, "octree", pool)
         with ctx.step("multipoles"):
             if ctx.backend == "reference":
                 compute_multipoles_concurrent(pool, system.x, system.m, ctx,
@@ -193,15 +203,20 @@ class OctreeAlgorithm(ForceAlgorithm):
                                               order=config.multipole_order)
         with ctx.step("force"):
             if config.traversal == "grouped":
-                return octree_accelerations_grouped(
+                acc = octree_accelerations_grouped(
                     pool, system.x, system.m, config.gravity,
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
                 )
-            return octree_accelerations(
-                pool, system.x, system.m, config.gravity,
-                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
-            )
+            else:
+                acc = octree_accelerations(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+                )
+        if maint is not None:
+            maint.finish_step(system.x)
+        return acc
 
 
 class BVHAlgorithm(ForceAlgorithm):
@@ -216,32 +231,45 @@ class BVHAlgorithm(ForceAlgorithm):
         from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
         from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
 
-        entry = _cache_entry(cache, "bvh", config)
-        if entry is not None:
-            perm, box = entry["structure"]
+        maint = None
+        if config.tree_update != "rebuild":
+            from repro.maintenance.maintainer import get_maintainer
+
+            maint = get_maintainer(cache, config, ctx)
+            bvh = maint.maintain_bvh(system, self)
+            entry = maint.entry
         else:
-            box = self._bounding_box(system, ctx)
-            # HILBERTSORT and the fused build are separate steps so
-            # Fig. 8's component breakdown can be reproduced.
-            with ctx.step("sort"):
-                perm = hilbert_sort_permutation(
-                    system.x, box, bits=config.bits, ctx=ctx, curve=config.curve
-                )
-            entry = _store_structure(cache, "bvh", (perm, box))
-        with ctx.step("build_tree"):
-            bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
-                               order=config.multipole_order)
+            entry = _cache_entry(cache, "bvh", config)
+            if entry is not None:
+                perm, box = entry["structure"]
+            else:
+                box = self._bounding_box(system, ctx)
+                # HILBERTSORT and the fused build are separate steps so
+                # Fig. 8's component breakdown can be reproduced.
+                with ctx.step("sort"):
+                    perm = hilbert_sort_permutation(
+                        system.x, box, bits=config.bits, ctx=ctx, curve=config.curve
+                    )
+                entry = _store_structure(cache, "bvh", (perm, box))
+            with ctx.step("build_tree"):
+                bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
+                                   order=config.multipole_order)
         with ctx.step("force"):
             if config.traversal == "grouped":
-                return bvh_accelerations_grouped(
+                acc = bvh_accelerations_grouped(
                     bvh, config.gravity,
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
                 )
-            return bvh_accelerations(
-                bvh, config.gravity,
-                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
-            )
+            else:
+                acc = bvh_accelerations(
+                    bvh, config.gravity,
+                    theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+                )
+        if maint is not None:
+            maint.finish_step(system.x)
+        return acc
 
 
 class TwoStageOctreeAlgorithm(ForceAlgorithm):
@@ -267,15 +295,26 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
         )
         from repro.octree.multipoles import compute_multipoles_vectorized
 
-        entry = _cache_entry(cache, "octree-2stage", config)
-        pool = None if entry is None else entry["structure"]
-        if pool is None:
-            box = self._bounding_box(system, ctx)
-            with ctx.step("build_tree"):
-                pool = build_octree_twostage(
-                    system.x, bits=config.bits, box=box, ctx=ctx
-                )
-            entry = _store_structure(cache, "octree-2stage", pool)
+        def build(box):
+            return build_octree_twostage(
+                system.x, bits=config.bits, box=box, ctx=ctx
+            )
+
+        maint = None
+        if config.tree_update != "rebuild":
+            from repro.maintenance.maintainer import get_maintainer
+
+            maint = get_maintainer(cache, config, ctx)
+            pool = maint.maintain_octree(system, self, build)
+            entry = maint.entry
+        else:
+            entry = _cache_entry(cache, "octree-2stage", config)
+            pool = None if entry is None else entry["structure"]
+            if pool is None:
+                box = self._bounding_box(system, ctx)
+                with ctx.step("build_tree"):
+                    pool = build(box)
+                entry = _store_structure(cache, "octree-2stage", pool)
         with ctx.step("multipoles"):
             compute_multipoles_vectorized(
                 pool, system.x, system.m, ctx,
@@ -283,15 +322,20 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
             )
         with ctx.step("force"):
             if config.traversal == "grouped":
-                return octree_accelerations_grouped(
+                acc = octree_accelerations_grouped(
                     pool, system.x, system.m, config.gravity,
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
                 )
-            return octree_accelerations(
-                pool, system.x, system.m, config.gravity,
-                theta=config.theta, ctx=ctx, simt_width=config.simt_width,
-            )
+            else:
+                acc = octree_accelerations(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, ctx=ctx, simt_width=config.simt_width,
+                )
+        if maint is not None:
+            maint.finish_step(system.x)
+        return acc
 
 
 def _cache_entry(cache: dict | None, key: str, config: SimulationConfig) -> dict | None:

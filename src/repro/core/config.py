@@ -12,6 +12,11 @@ from repro.physics.gravity import GravityParams
 #: V-A validates against).
 ALGORITHM_NAMES = ("all-pairs", "all-pairs-col", "octree", "bvh", "octree-2stage")
 
+#: Tree-maintenance policies (repro.maintenance): rebuild every step
+#: (the paper's pipeline), refit the existing tree while the Hilbert
+#: order stays valid, or let the cost model pick per step.
+TREE_UPDATE_MODES = ("rebuild", "refit", "auto")
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -44,6 +49,27 @@ class SimulationConfig:
     #: notes "can be applied to any Barnes-Hut implementation".  1 =
     #: rebuild every step (the paper's configuration).
     tree_reuse_steps: int = 1
+    #: Tree maintenance across timesteps (:mod:`repro.maintenance`):
+    #: ``"rebuild"`` rebuilds from scratch every step (the paper's
+    #: pipeline, the default); ``"refit"`` keeps the sort permutation /
+    #: leaf assignment and refits geometry + multipoles in place while
+    #: key disorder and body drift stay below bounds; ``"auto"``
+    #: additionally asks the machine cost model whether the refit or the
+    #: rebuild is cheaper this step.  Supersedes ``tree_reuse_steps``
+    #: (the two must not be combined).
+    tree_update: str = "rebuild"
+    #: Maximum body displacement since the last full build, as a
+    #: fraction of the root cube side, before a refit is no longer
+    #: allowed.  Caps the drift-bounded MAC margin: cached grouped
+    #: interaction lists get an adaptive opening-radius inflation sized
+    #: to the observed per-step drift, never above this budget, and the
+    #: distributed LET plans are built with the full budget so they
+    #: survive every refit step of an epoch.
+    drift_budget: float = 0.01
+    #: Fraction of bodies out of Hilbert order (running-max displaced
+    #: measure) above which ``tree_update="refit"`` falls back to a full
+    #: rebuild; ``"auto"`` derives its own cap from measured costs.
+    refit_disorder_threshold: float = 0.1
     #: Force-traversal strategy for the tree algorithms: ``"lockstep"``
     #: walks the tree once per body (paper Fig. 3); ``"grouped"`` walks
     #: once per Hilbert-contiguous body group with a conservative group
@@ -98,6 +124,28 @@ class SimulationConfig:
             raise ConfigurationError("multipole_order must be 1 or 2")
         if not isinstance(self.tree_reuse_steps, int) or self.tree_reuse_steps < 1:
             raise ConfigurationError("tree_reuse_steps must be an integer >= 1")
+        if self.tree_update not in TREE_UPDATE_MODES:
+            raise ConfigurationError(
+                f"tree_update must be one of {TREE_UPDATE_MODES}, got {self.tree_update!r}"
+            )
+        if self.tree_update != "rebuild":
+            if self.algorithm not in ("octree", "bvh", "octree-2stage"):
+                raise ConfigurationError(
+                    f"tree_update={self.tree_update!r} requires a tree algorithm; "
+                    f"got {self.algorithm!r}"
+                )
+            if self.tree_reuse_steps != 1:
+                raise ConfigurationError(
+                    "tree_update refit/auto supersedes tree_reuse_steps; "
+                    "leave tree_reuse_steps at 1"
+                )
+        if not (isinstance(self.drift_budget, (int, float)) and self.drift_budget > 0):
+            raise ConfigurationError("drift_budget must be a positive number")
+        if not (isinstance(self.refit_disorder_threshold, (int, float))
+                and 0.0 <= self.refit_disorder_threshold <= 1.0):
+            raise ConfigurationError(
+                "refit_disorder_threshold must be in [0, 1]"
+            )
         if self.traversal not in ("lockstep", "grouped"):
             raise ConfigurationError("traversal must be 'lockstep' or 'grouped'")
         if not isinstance(self.group_size, int) or self.group_size < 1:

@@ -18,8 +18,10 @@ from repro.stdpar.context import ExecutionContext
 STEP_ORDER = (
     "partition",
     "bounding_box",
+    "encode",
     "sort",
     "build_tree",
+    "refit",
     "multipoles",
     "exchange",
     "force",

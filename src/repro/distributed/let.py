@@ -58,6 +58,19 @@ def let_node_bytes(dim: int, multipole_order: int = 1) -> float:
     return base
 
 
+def let_refresh_bytes(dim: int, multipole_order: int = 1) -> float:
+    """Wire size of one *refreshed* LET node on a refit step.
+
+    Masses, child topology and node ids are unchanged since the epoch
+    exchange, so only the centre of mass (tagged with its slot index)
+    — plus the quadrupole tensor at order 2 — crosses the wire.
+    """
+    base = (dim + 1) * 8.0
+    if multipole_order >= 2:
+        base += dim * dim * 8.0
+    return base
+
+
 @dataclass(frozen=True)
 class LETPlan:
     """Halo exchange plan of one source rank toward every other rank."""
@@ -90,19 +103,24 @@ def build_let_plan(
     *,
     dim: int,
     multipole_order: int = 1,
+    mac_margin: float = 0.0,
 ) -> LETPlan:
     """Size the LET of *src*'s tree toward each destination domain.
 
     One conservative-MAC walk per destination, all destinations level-
     synchronously at once (the same frontier sweep the grouped
     traversal uses).  ``visited_nodes`` is what crosses the wire.
+    ``mac_margin`` inflates the opening radius (see
+    :mod:`repro.maintenance.drift`) so the plan survives bounded body
+    drift on refit steps.
     """
     dests = np.asarray(dests, dtype=INDEX)
     if dests.size == 0:
         z = np.zeros(0)
         return LETPlan(src, dests, z, z, z)
     lists = build_interaction_lists(
-        view, _domain_groups(dom_lo[dests], dom_hi[dests]), theta
+        view, _domain_groups(dom_lo[dests], dom_hi[dests]), theta,
+        mac_margin=mac_margin,
     )
     visited = lists.steps.astype(float)
     emitted = np.diff(lists.offsets).astype(float)

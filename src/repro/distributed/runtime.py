@@ -33,16 +33,18 @@ import numpy as np
 
 from repro.distributed.balance import WorkBalancer
 from repro.distributed.fabric import Fabric, FabricTraffic
-from repro.distributed.let import build_let_plan, remote_accelerations
-from repro.distributed.partition import (
-    DomainDecomposition,
-    decompose,
-    hilbert_keys,
+from repro.distributed.let import (
+    build_let_plan,
+    let_refresh_bytes,
+    remote_accelerations,
 )
+from repro.distributed.partition import DomainDecomposition, decompose
 from repro.errors import ConfigurationError
-from repro.geometry.aabb import compute_bounding_box
+from repro.geometry.aabb import compute_bounding_box, cubify
+from repro.geometry.morton import MAX_BITS_2D, MAX_BITS_3D
 from repro.machine.costmodel import CostModel
 from repro.machine.counters import StepCounters
+from repro.maintenance.disorder import coarsen_keys, key_disorder, sense_bits
 from repro.stdpar.context import ExecutionContext
 from repro.traversal.engine import account_grouped_force
 from repro.traversal.groups import make_groups
@@ -129,6 +131,17 @@ class DistributedRuntime:
         #: Cost model used only to convert rank counters into the
         #: per-body weights the work-weighted rebalance feeds on.
         self._feedback_model = CostModel(ctx.device, toolchain=ctx.toolchain)
+        # --- incremental maintenance (config.tree_update != "rebuild") -
+        from repro.maintenance.keycache import KeyCache
+
+        #: Shared curve-key cache: the partitioner computes global keys
+        #: once per step; the per-rank BVH sorts reuse them (satellite
+        #: dedupe) instead of re-encoding on per-rank grids.
+        self._keycache = KeyCache()
+        self._epoch: dict | None = None
+        self.maint_counts = {"rebuild": 0, "refit": 0}
+        self._last_trees: list | None = None
+        self._last_plans: list | None = None
 
     # ------------------------------------------------------------------
     def accelerations(self, system) -> np.ndarray:
@@ -143,20 +156,64 @@ class DistributedRuntime:
         self.fabric.reset()
 
         with self.ctx.step("partition"):
-            decomp, rebalanced, migrated = self._partition(x, dim)
-        counts = decomp.counts
-        members = [decomp.members(r) for r in range(K)]
-        xr = [x[members[r]] for r in range(K)]
-        mr = [m[members[r]] for r in range(K)]
+            decomp, rebalanced, migrated, keys = self._partition(x, dim)
 
-        # Per-rank local trees (the existing kernels, per-rank contexts).
-        if cfg.algorithm == "octree":
-            views, local_force, exact = self._build_octrees(xr, mr)
+        maintained = cfg.tree_update != "rebuild"
+        refit = maintained and self._refit_valid(x, keys, rebalanced, migrated)
+        if refit:
+            # Keep the epoch membership: fresh re-binning may permute
+            # rows *within* a rank even with zero migration, which would
+            # scramble the row-to-body mapping of the cached trees.
+            decomp = self._epoch["decomp"]
+            members = self._epoch["members"]
+            xr = [x[members[r]] for r in range(K)]
+            mr = [m[members[r]] for r in range(K)]
+            views, local_force, exact = self._refit_trees(xr, mr)
+            with self.ctx.step("exchange"):
+                let_bytes = self._exchange_refresh(dim)
+            self.maint_counts["refit"] += 1
         else:
-            views, local_force, exact = self._build_bvhs(xr, mr)
+            members = [decomp.members(r) for r in range(K)]
+            xr = [x[members[r]] for r in range(K)]
+            mr = [m[members[r]] for r in range(K)]
 
-        with self.ctx.step("exchange"):
-            let_bytes = self._exchange(decomp, x, views, dim)
+            # Per-rank local trees (the existing kernels, per-rank
+            # contexts).  Maintained mode hands the partition's global
+            # keys to the BVH sorts (encode dedupe) and builds LET
+            # plans with the drift margin so they survive refit steps.
+            margin = 0.0
+            if maintained:
+                box = compute_bounding_box(x)
+                margin = cfg.drift_budget * max(
+                    cubify(box).longest_side, np.finfo(FLOAT).tiny
+                )
+            if cfg.algorithm == "octree":
+                views, local_force, exact = self._build_octrees(xr, mr)
+                trees = self._last_trees
+            else:
+                keys_r = ([keys[members[r]] for r in range(K)]
+                          if maintained else None)
+                views, local_force, exact = self._build_bvhs(xr, mr, keys_r)
+                trees = self._last_trees
+
+            with self.ctx.step("exchange"):
+                let_bytes = self._exchange(decomp, x, views, dim,
+                                           mac_margin=margin)
+            if maintained:
+                gate = (2.0 + 2.0 / cfg.theta if cfg.algorithm == "bvh"
+                        and cfg.theta > 0.0 else
+                        np.inf if cfg.algorithm == "bvh" else 2.0)
+                self._epoch = {
+                    "x_ref": x.copy(),
+                    "decomp": decomp,
+                    "members": members,
+                    "trees": trees,
+                    "plans": self._last_plans,
+                    "budget_abs": margin,
+                    "gate_factor": gate,
+                }
+                self.maint_counts["rebuild"] += 1
+        counts = decomp.counts
 
         acc = np.zeros((n, dim), dtype=FLOAT)
         with self.ctx.step("force"):
@@ -225,7 +282,14 @@ class DistributedRuntime:
         n = x.shape[0]
         K = self.n_ranks
         box = compute_bounding_box(x)
-        keys = hilbert_keys(x, box, bits=self.config.bits)
+        if self.config.bits is not None:
+            bits = self.config.bits
+        else:
+            bits = MAX_BITS_3D if dim == 3 else MAX_BITS_2D
+        # Same grid as hilbert_keys (quantize_to_grid cubifies), but the
+        # cache makes repeat evaluations at unchanged positions free and
+        # lets the per-rank BVH sorts reuse the global keys.
+        keys = self._keycache.keys(x, box, bits=bits, curve="hilbert")
         due = self.balancer.tick()
         stale = self._decomp is None or self._decomp.n_bodies != n
         rebalanced = due or stale
@@ -282,7 +346,7 @@ class DistributedRuntime:
                 loop_iterations=nr,
                 kernel_launches=2.0,
             )
-        return decomp, rebalanced, migrated
+        return decomp, rebalanced, migrated, keys
 
     # ------------------------------------------------------------------
     def _build_octrees(self, xr, mr):
@@ -332,6 +396,16 @@ class DistributedRuntime:
                         compute_multipoles_vectorized(
                             pools[r], xr[r], mr[r], rc, order=cfg.multipole_order)
                 views[r] = octree_tree_view(pools[r])
+        self._last_trees = pools
+        return (views, *self._octree_closures(pools, xr, mr))
+
+    def _octree_closures(self, pools, xr, mr):
+        from repro.octree.force import (
+            octree_accelerations,
+            octree_accelerations_grouped,
+        )
+
+        cfg = self.config
 
         def local_force(r: int) -> np.ndarray:
             rc = self.rank_ctx[r]
@@ -349,9 +423,40 @@ class DistributedRuntime:
         def exact(s: int):
             return pools[s].leaf_bodies
 
-        return views, local_force, exact
+        return local_force, exact
 
-    def _build_bvhs(self, xr, mr):
+    def _refit_octrees(self, xr, mr):
+        """Refit step: keep pool structure, refresh multipoles + views.
+
+        Leaf membership is the epoch's; bounded drift (the refit gate)
+        keeps the fixed cell geometry a valid MAC bound because the LET
+        plans were built with the inflated opening radius.
+        """
+        from repro.octree.force import octree_tree_view
+        from repro.octree.multipoles import (
+            compute_multipoles_concurrent,
+            compute_multipoles_vectorized,
+        )
+
+        cfg = self.config
+        pools = self._epoch["trees"]
+        views = [None] * self.n_ranks
+        with self.ctx.step("multipoles"):
+            for r in range(self.n_ranks):
+                if pools[r] is None:
+                    continue
+                rc = self.rank_ctx[r]
+                with rc.step("multipoles"):
+                    if rc.backend == "reference":
+                        compute_multipoles_concurrent(
+                            pools[r], xr[r], mr[r], rc, order=cfg.multipole_order)
+                    else:
+                        compute_multipoles_vectorized(
+                            pools[r], xr[r], mr[r], rc, order=cfg.multipole_order)
+                views[r] = octree_tree_view(pools[r])
+        return (views, *self._octree_closures(pools, xr, mr))
+
+    def _build_bvhs(self, xr, mr, keys_r=None):
         from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
         from repro.bvh.force import (
             bvh_accelerations,
@@ -374,12 +479,25 @@ class DistributedRuntime:
                         loop_iterations=float(xr[r].shape[0]), kernel_launches=1.0,
                     )
                 with rc.step("sort"):
+                    # Global curve keys from the partitioner, when
+                    # handed down, stand in for the per-rank encode:
+                    # key order is preserved under restriction to a
+                    # rank's (curve-contiguous) slice.
+                    kr = keys_r[r] if keys_r is not None else None
                     perm = hilbert_sort_permutation(
-                        xr[r], box, bits=cfg.bits, ctx=rc, curve=cfg.curve)
+                        xr[r], box, bits=cfg.bits, ctx=rc, curve=cfg.curve,
+                        keys=kr)
                 with rc.step("build_tree"):
                     bvhs[r] = assemble_bvh(
                         xr[r], mr[r], perm, box, ctx=rc, order=cfg.multipole_order)
                 views[r] = bvh_tree_view(bvhs[r])
+        self._last_trees = bvhs
+        return (views, *self._bvh_closures(bvhs, xr, mr))
+
+    def _bvh_closures(self, bvhs, xr, mr):
+        from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
+
+        cfg = self.config
 
         def local_force(r: int) -> np.ndarray:
             rc = self.rank_ctx[r]
@@ -397,16 +515,79 @@ class DistributedRuntime:
         def exact(s: int):
             return None  # BVH leaves are single bodies; no buckets
 
-        return views, local_force, exact
+        return local_force, exact
+
+    def _refit_bvhs(self, xr, mr):
+        """Refit step: fused level-sweep AABB/multipole refresh per rank."""
+        from repro.bvh.build import refit_bvh
+        from repro.bvh.force import bvh_tree_view
+
+        bvhs = self._epoch["trees"]
+        new = [None] * self.n_ranks
+        views = [None] * self.n_ranks
+        with self.ctx.step("refit"):
+            for r in range(self.n_ranks):
+                if bvhs[r] is None:
+                    continue
+                rc = self.rank_ctx[r]
+                with rc.step("refit"):
+                    new[r] = refit_bvh(bvhs[r], xr[r], ctx=rc)
+                views[r] = bvh_tree_view(new[r])
+        self._epoch["trees"] = new
+        return (views, *self._bvh_closures(new, xr, mr))
+
+    def _refit_trees(self, xr, mr):
+        if self.config.algorithm == "octree":
+            return self._refit_octrees(xr, mr)
+        return self._refit_bvhs(xr, mr)
 
     # ------------------------------------------------------------------
-    def _exchange(self, decomp, x, views, dim):
+    def _refit_valid(self, x, keys, rebalanced, migrated) -> bool:
+        """Can this step reuse the epoch's membership, trees and plans?
+
+        Requires: an epoch of the same size, no rebalance and no owner
+        changes this step, every body within the drift gate (the LET
+        margin divided by the gate factor, which bounds domain-box plus
+        node-geometry motion), and the epoch's curve order still below
+        the disorder threshold.  Sensing is charged under ``encode``.
+        """
+        ep = self._epoch
+        if (ep is None or rebalanced or migrated
+                or ep["x_ref"].shape != x.shape):
+            return False
+        gate = ep["budget_abs"] / ep["gate_factor"]
+        with self.ctx.step("encode"):
+            n, dim = x.shape
+            disp = np.sqrt(((x - ep["x_ref"]) ** 2).sum(axis=1))
+            drift = float(disp.max(initial=0.0))
+            if self.config.bits is not None:
+                bits = self.config.bits
+            else:
+                bits = MAX_BITS_3D if dim == 3 else MAX_BITS_2D
+            sb = sense_bits(n, dim, occupancy=self.config.group_size)
+            stats = key_disorder(
+                coarsen_keys(keys[ep["decomp"].order], bits, sb, dim))
+            self.ctx.counters.add(
+                flops=(3.0 * dim + 2.0) * n,
+                special_flops=float(n),
+                bytes_read=8.0 * n * (2.0 * dim + 3.0),
+                bytes_irregular=8.0 * n,
+                loop_iterations=float(n),
+                kernel_launches=2.0,
+            )
+        if not np.isfinite(gate) or drift > gate:
+            return False
+        return stats.fraction <= self.config.refit_disorder_threshold
+
+    # ------------------------------------------------------------------
+    def _exchange(self, decomp, x, views, dim, *, mac_margin=0.0):
         """LET selection per source rank + modeled halo transfer."""
         cfg = self.config
         K = self.n_ranks
         counts = decomp.counts
         lo, hi = decomp.domain_boxes(x)
         let_bytes = np.zeros((K, K))
+        plans: list = [None] * K
         for s in range(K):
             if counts[s] == 0 or views[s] is None:
                 continue
@@ -418,7 +599,9 @@ class DistributedRuntime:
             plan = build_let_plan(
                 views[s], s, dests, lo, hi, cfg.theta,
                 dim=dim, multipole_order=cfg.multipole_order,
+                mac_margin=mac_margin,
             )
+            plans[s] = plan
             cs = self.rank_ctx[s].step_counters.step("exchange")
             for d, nb in zip(plan.dests, plan.n_bytes):
                 self.fabric.send(s, int(d), float(nb))
@@ -435,6 +618,41 @@ class DistributedRuntime:
                 traversal_steps=visited,
                 warp_traversal_steps=visited,
                 loop_iterations=float(dests.size),
+                kernel_launches=1.0,
+            )
+        self._last_plans = plans
+        return let_bytes
+
+    def _exchange_refresh(self, dim) -> np.ndarray:
+        """Refit-step halo update: ship only refreshed multipole deltas.
+
+        Topology, masses and node ids of every epoch LET are unchanged,
+        so each source resends ``visited`` nodes at the (smaller)
+        refresh wire size — no selection walk, just a gather of the
+        refreshed centres of mass (+ quadrupoles) into send buffers.
+        """
+        cfg = self.config
+        K = self.n_ranks
+        rb = let_refresh_bytes(dim, cfg.multipole_order)
+        let_bytes = np.zeros((K, K))
+        for s in range(K):
+            plan = self._epoch["plans"][s]
+            if plan is None:
+                continue
+            cs = self.rank_ctx[s].step_counters.step("exchange")
+            for d, visited in zip(plan.dests, plan.visited_nodes):
+                nb = float(visited) * rb
+                self.fabric.send(s, int(d), nb)
+                let_bytes[s, int(d)] = nb
+                cs.add(comm_bytes=nb, comm_messages=1.0)
+                self.rank_ctx[int(d)].step_counters.step("exchange").add(
+                    comm_bytes=nb, comm_messages=1.0)
+            visited = float(plan.visited_nodes.sum())
+            cs.add(
+                flops=visited * 2.0,
+                bytes_read=visited * rb,
+                bytes_written=visited * rb,
+                loop_iterations=float(plan.dests.size),
                 kernel_launches=1.0,
             )
         return let_bytes

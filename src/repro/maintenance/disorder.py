@@ -1,0 +1,77 @@
+"""How far out of curve order has the body sequence drifted?
+
+Both measures are single vectorized passes over the keys *in the
+current permutation order*:
+
+* **adjacent inversions** — positions where a key is smaller than its
+  predecessor; zero iff the sequence is sorted.
+* **running-max displaced fraction** — bodies whose key falls below the
+  running maximum of the keys before them.  Unlike adjacent inversions
+  this counts every body that would have to move under a resort (one
+  far-travelled body produces one inversion but displaces itself only
+  once, while suppressing its whole overtaken span), which makes it the
+  better proxy for how much the stale permutation degrades traversal
+  locality.  It is what the refit threshold tests against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DisorderStats:
+    """Disorder of a key sequence (in permutation order)."""
+
+    n: int
+    inversions: int
+    displaced: int
+
+    @property
+    def inversion_fraction(self) -> float:
+        return self.inversions / max(self.n - 1, 1)
+
+    @property
+    def fraction(self) -> float:
+        """Displaced fraction — the measure thresholds compare against."""
+        return self.displaced / max(self.n, 1)
+
+
+def key_disorder(keys_in_order: np.ndarray) -> DisorderStats:
+    """Disorder statistics of ``keys[perm]`` for the current permutation."""
+    k = np.asarray(keys_in_order)
+    n = int(k.shape[0])
+    if n <= 1:
+        return DisorderStats(n=n, inversions=0, displaced=0)
+    inversions = int(np.count_nonzero(k[1:] < k[:-1]))
+    running_max = np.maximum.accumulate(k)
+    displaced = int(np.count_nonzero(k < running_max))
+    return DisorderStats(n=n, inversions=inversions, displaced=displaced)
+
+
+def sense_bits(n: int, dim: int, *, occupancy: int = 32, floor: int = 3) -> int:
+    """Grid depth at which disorder is *worth* measuring.
+
+    At the sort's full depth a drift of a few fine cells — far below
+    anything that degrades traversal locality — already scrambles the
+    low key bits and reports near-total disorder.  What the refit
+    threshold cares about is order at the scale of a traversal group /
+    leaf run, so we sense on the coarsest grid whose cells hold about
+    *occupancy* bodies: ``2**(dim*b) >= n / occupancy``.
+    """
+    cells = max(float(n) / max(occupancy, 1), 2.0)
+    return max(floor, int(np.ceil(np.log2(cells) / max(dim, 1))))
+
+
+def coarsen_keys(keys: np.ndarray, bits: int, to_bits: int, dim: int) -> np.ndarray:
+    """Keys on a ``to_bits`` grid, derived by prefix truncation.
+
+    Hilbert and Morton indices are hierarchical: the top ``dim * b``
+    bits of a depth-``bits`` key are exactly the depth-``b`` key of the
+    containing cell, so coarsening is a shift — no re-encode.
+    """
+    if to_bits >= bits:
+        return keys
+    return keys >> np.uint64(dim * (bits - to_bits))

@@ -1,0 +1,322 @@
+"""Per-simulation orchestrator for incremental tree maintenance.
+
+One ``TreeMaintainer`` lives in the simulation's tree cache (under the
+``"_maintainer"`` key) and owns the *epoch* state: the tree built at
+the last full rebuild, the positions it was built from, the absolute
+drift budget derived from the root cell, and the per-interaction-list
+position snapshots the drift-bounded gate measures against.
+
+Every step runs the same pipeline:
+
+1. **sense** (``encode`` step) — recompute curve keys through the
+   :class:`~repro.maintenance.keycache.KeyCache`, measure disorder of
+   the epoch ordering and the max displacement since the epoch build;
+2. **decide** — :class:`~repro.maintenance.policy.MaintenancePolicy`
+   picks rebuild or refit;
+3. **rebuild** (``sort`` + ``build_tree`` steps) or **refit**
+   (``refit`` step: fused level-sweep geometry refresh for the BVH, and
+   the cached-list validity gate for both backends);
+4. after the force phase, :meth:`TreeMaintainer.finish_step` snapshots
+   positions for freshly built lists and feeds the cost model's view of
+   the executed step back to the auto policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bvh.build import (
+    assemble_bvh,
+    default_sort_bits,
+    hilbert_sort_permutation,
+    refit_bvh,
+)
+from repro.machine.counters import Counters
+from repro.machine.costmodel import CostModel
+from repro.maintenance.disorder import coarsen_keys, key_disorder, sense_bits
+from repro.maintenance.drift import (
+    bvh_node_drift,
+    displacement,
+    group_drift,
+    lists_valid,
+    octree_node_drift,
+)
+from repro.maintenance.keycache import KeyCache
+from repro.maintenance.policy import Decision, MaintenancePolicy
+from repro.types import FLOAT
+
+#: Steps whose modeled times the auto policy learns from.
+_OBSERVED_STEPS = ("encode", "sort", "build_tree", "refit",
+                   "multipoles", "force")
+
+
+def get_maintainer(cache: dict | None, config, ctx) -> "TreeMaintainer":
+    """The simulation's maintainer, created on first use."""
+    if cache is None:
+        return TreeMaintainer(config, ctx)
+    maint = cache.get("_maintainer")
+    if maint is None:
+        maint = TreeMaintainer(config, ctx)
+        cache["_maintainer"] = maint
+    return maint
+
+
+class TreeMaintainer:
+    """Owns one tree across timesteps, refitting when the order holds."""
+
+    #: New interaction lists get an opening-radius inflation of this
+    #: many *observed per-step drifts* (clamped by the epoch budget):
+    #: enough slack for the gate to keep them alive across several
+    #: steps, small enough not to inflate the force work noticeably.
+    MARGIN_STEPS = 64.0
+
+    def __init__(self, config, ctx):
+        self.config = config
+        self.ctx = ctx
+        self.keycache = KeyCache()
+        self.policy = MaintenancePolicy(
+            config.tree_update, config.refit_disorder_threshold
+        )
+        self._model = CostModel(ctx.device, toolchain=ctx.toolchain)
+        #: Structure-cache entry dict handed to the grouped force kernels
+        #: (they store interaction lists in it under the ``ilists`` key).
+        self.entry: dict = {}
+        #: Maintenance event counts, exposed through ``--profile``.
+        self.counts = {"rebuild": 0, "refit": 0, "lists_dropped": 0}
+        self.last_decision: Decision | None = None
+        #: Opening-radius inflation for lists built *this* step (the
+        #: adaptive margin); force kernels receive it verbatim and the
+        #: lists remember it for their own validity gate.
+        self.mac_margin = 0.0
+        # --- epoch state ---------------------------------------------
+        self._bvh = None
+        self._pool = None
+        self._order: np.ndarray | None = None  # octree epoch Hilbert order
+        self._x_ref: np.ndarray | None = None
+        self._x_prev: np.ndarray | None = None
+        self._step_drift = 0.0
+        self._budget_abs = 0.0
+        self._list_state: dict = {}  # ilists key -> (lists, x snapshot)
+        self._snap: dict | None = None
+        self._last_action: str | None = None
+
+    # ------------------------------------------------------------------
+    # BVH
+    # ------------------------------------------------------------------
+    def maintain_bvh(self, system, algo):
+        config, ctx = self.config, self.ctx
+        x = system.x
+        n, dim = x.shape
+        self._snap = self._take_snapshot()
+        bits = config.bits if config.bits is not None else default_sort_bits(dim)
+        have = self._bvh is not None and self._bvh.n_bodies == n
+        decision = self._sense(
+            x, bits, config.curve, have,
+            order=self._bvh.perm if have else None,
+            box=self._bvh.box if have else None,
+        )
+        self.last_decision = decision
+        self._last_action = decision.action
+        if decision.action == "rebuild":
+            box = algo._bounding_box(system, ctx)
+            with ctx.step("encode"):
+                keys = self.keycache.keys(x, box, bits=bits,
+                                          curve=config.curve, ctx=ctx)
+            with ctx.step("sort"):
+                perm = hilbert_sort_permutation(
+                    x, box, bits=bits, ctx=ctx, curve=config.curve, keys=keys
+                )
+            with ctx.step("build_tree"):
+                self._bvh = assemble_bvh(x, system.m, perm, box, ctx=ctx,
+                                         order=config.multipole_order)
+            self._begin_epoch(x, box.longest_side)
+            self.counts["rebuild"] += 1
+        else:
+            with ctx.step("refit"):
+                self._bvh = refit_bvh(self._bvh, x, ctx=ctx)
+                self._gate_lists(x, kind="bvh")
+            self.counts["refit"] += 1
+        self._update_margin()
+        return self._bvh
+
+    # ------------------------------------------------------------------
+    # Octree (concurrent / vectorized / two-stage, via *builder*)
+    # ------------------------------------------------------------------
+    def maintain_octree(self, system, algo, builder):
+        config, ctx = self.config, self.ctx
+        x = system.x
+        n, dim = x.shape
+        self._snap = self._take_snapshot()
+        bits = default_sort_bits(dim)  # grouped-traversal order grid
+        have = (self._pool is not None and self._pool.n_bodies == n
+                and self._order is not None)
+        decision = self._sense(
+            x, bits, "hilbert", have,
+            order=self._order if have else None,
+            box=self._pool.box if have else None,
+        )
+        self.last_decision = decision
+        self._last_action = decision.action
+        if decision.action == "rebuild":
+            box = algo._bounding_box(system, ctx)
+            with ctx.step("build_tree"):
+                self._pool = builder(box)
+            with ctx.step("encode"):
+                # Epoch reference order: the Hilbert order the grouped
+                # traversal walks in, against which later steps measure
+                # disorder.  One argsort, charged as such.
+                keys = self.keycache.keys(x, self._pool.box, bits=bits,
+                                          curve="hilbert", ctx=ctx)
+                self._order = np.argsort(keys, kind="stable")
+                ctx.counters.add(
+                    sort_comparisons=float(n) * float(np.log2(max(n, 2))),
+                    bytes_read=8.0 * n, bytes_written=8.0 * n,
+                    kernel_launches=1.0,
+                )
+            self._begin_epoch(x, self._pool.root_side)
+            self.counts["rebuild"] += 1
+        else:
+            with ctx.step("refit"):
+                # Structure and leaf membership are kept; the multipole
+                # phase (which the caller runs every step regardless)
+                # refreshes coms at the current positions.  Only the
+                # cached lists need revalidating here.
+                self._gate_lists(x, kind="octree")
+            self.counts["refit"] += 1
+        self._update_margin()
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def finish_step(self, x: np.ndarray) -> None:
+        """Post-force bookkeeping: list snapshots + policy feedback."""
+        for key, cached in self.entry.items():
+            if not (isinstance(key, tuple) and key and key[0] == "ilists"):
+                continue
+            state = self._list_state.get(key)
+            if state is None or state[0] is not cached["lists"]:
+                self._list_state[key] = (
+                    cached["lists"], np.asarray(x, dtype=FLOAT).copy()
+                )
+        if self._snap is not None and self._last_action is not None:
+            secs = {
+                name: self._model.step_time(self._delta_counters(name)).total
+                for name in _OBSERVED_STEPS
+            }
+            self.policy.observe(self._last_action, secs)
+        self._snap = None
+        self._x_prev = np.asarray(x, dtype=FLOAT).copy()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _begin_epoch(self, x: np.ndarray, root_side: float) -> None:
+        self._x_ref = np.asarray(x, dtype=FLOAT).copy()
+        self._budget_abs = self.config.drift_budget * max(
+            float(root_side), np.finfo(FLOAT).tiny
+        )
+        self.entry.clear()
+        self._list_state.clear()
+
+    def _update_margin(self) -> None:
+        """Adaptive list margin: slack for ~MARGIN_STEPS steps of the
+        drift observed last step, never past the epoch budget.  Zero
+        observed drift keeps the margin at zero — and the maintained
+        lists bit-identical to a rebuild-every-step run's."""
+        self.mac_margin = min(self._budget_abs,
+                              self.MARGIN_STEPS * self._step_drift)
+
+    def _sense(self, x, bits, curve, have, *, order, box) -> Decision:
+        """Measure disorder + drift and ask the policy (``encode`` step)."""
+        if not have:
+            self._step_drift = 0.0
+            return self.policy.decide(have_structure=False, disorder=0.0,
+                                      drift=0.0, drift_ok=False)
+        ctx = self.ctx
+        n, dim = x.shape
+        with ctx.step("encode"):
+            keys = self.keycache.keys(x, box, bits=bits, curve=curve, ctx=ctx)
+            sb = sense_bits(n, dim, occupancy=self.config.group_size)
+            stats = key_disorder(coarsen_keys(keys[order], bits, sb, dim))
+            disp = displacement(x, self._x_ref)
+            drift = float(disp.max(initial=0.0))
+            if self._x_prev is not None and self._x_prev.shape == x.shape:
+                self._step_drift = float(
+                    displacement(x, self._x_prev).max(initial=0.0))
+            else:
+                self._step_drift = 0.0
+            # Sensing: gather keys through the permutation + running-max
+            # pass, and two streaming displacement reductions (since the
+            # epoch build and since the previous step).
+            ctx.counters.add(
+                flops=(6.0 * dim + 3.0) * n,
+                special_flops=2.0 * n,
+                bytes_read=8.0 * n * (3.0 * dim + 3.0),
+                bytes_irregular=8.0 * n,
+                loop_iterations=float(n),
+                kernel_launches=3.0,
+            )
+        return self.policy.decide(
+            have_structure=True, disorder=stats.fraction, drift=drift,
+            drift_ok=drift <= self._budget_abs,
+        )
+
+    def _gate_lists(self, x: np.ndarray, *, kind: str) -> None:
+        """Drop cached lists whose drift-bounded validity gate fails."""
+        theta = self.config.theta
+        n, dim = x.shape
+        for key in [k for k in self.entry
+                    if isinstance(k, tuple) and k and k[0] == "ilists"]:
+            cached = self.entry[key]
+            state = self._list_state.get(key)
+            if state is None or state[0] is not cached["lists"]:
+                ok = False  # untracked list: cannot prove anything
+            else:
+                disp = displacement(x, state[1])
+                if kind == "bvh":
+                    rows = disp[self._bvh.perm]
+                    node_drift = bvh_node_drift(self._bvh.layout, rows)
+                    # Refit refreshes BVH boxes, so an accepted node's
+                    # longest side can grow by up to twice its drift.
+                    size_factor = 2.0 / theta if theta > 0.0 else np.inf
+                else:
+                    rows = disp[cached["perm"]]
+                    node_drift = octree_node_drift(self._pool, disp)
+                    size_factor = 0.0  # octree cell sizes never change
+                grp = group_drift(cached["groups"].offsets, rows)
+                with np.errstate(invalid="ignore"):
+                    ok = lists_valid(cached["lists"], grp, node_drift,
+                                     size_factor=size_factor)
+                nn = node_drift.shape[0]
+                ne = cached["lists"].nodes.shape[0]
+                self.ctx.counters.add(
+                    flops=(3.0 * dim + 1.0) * n + 2.0 * nn + 3.0 * ne,
+                    bytes_read=8.0 * (n * dim + nn + 2.0 * ne),
+                    bytes_written=8.0 * nn,
+                    loop_iterations=float(nn),
+                    kernel_launches=2.0,
+                )
+            if not ok:
+                del self.entry[key]
+                self._list_state.pop(key, None)
+                self.counts["lists_dropped"] += 1
+
+    # ------------------------------------------------------------------
+    def _take_snapshot(self) -> dict:
+        out = {}
+        for name in _OBSERVED_STEPS:
+            c = self.ctx.step_counters.steps.get(name)
+            out[name] = c.as_dict() if c is not None else None
+        return out
+
+    def _delta_counters(self, name: str) -> Counters:
+        cur = self.ctx.step_counters.steps.get(name)
+        if cur is None:
+            return Counters()
+        prev = (self._snap or {}).get(name) or {}
+        delta = Counters()
+        for k, v in cur.as_dict().items():
+            if k == "traversal_steps_max":
+                setattr(delta, k, v)
+            else:
+                setattr(delta, k, v - prev.get(k, 0.0))
+        return delta

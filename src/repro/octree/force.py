@@ -316,6 +316,7 @@ def octree_accelerations_grouped(
     simt_width: int = 32,
     cache: dict | None = None,
     eval_mode: str = "auto",
+    mac_margin: float = 0.0,
 ) -> np.ndarray:
     """Barnes-Hut accelerations via group-coherent traversal.
 
@@ -343,7 +344,8 @@ def octree_accelerations_grouped(
     if built:
         perm = _hilbert_body_order(x, pool.box)
         groups = make_groups(x[perm], group_size)
-        lists = build_interaction_lists(view, groups, theta)
+        lists = build_interaction_lists(view, groups, theta,
+                                        mac_margin=mac_margin)
         cached = {"perm": perm, "groups": groups, "lists": lists}
         if cache is not None:
             cache[key] = cached

@@ -104,6 +104,9 @@ class InteractionLists:
     exact_nodes: np.ndarray   # (n_exact,) bucket leaf node ids
     steps: np.ndarray         # (n_groups,) walk length per group
     theta: float
+    #: Opening-radius inflation the lists were built with (the
+    #: drift-bounded MAC of repro.maintenance); 0 = the plain MAC.
+    mac_margin: float = 0.0
 
     @property
     def n_groups(self) -> int:
@@ -132,7 +135,8 @@ class InteractionLists:
 
 
 def build_interaction_lists(
-    view: TreeView, groups: BodyGroups, theta: float
+    view: TreeView, groups: BodyGroups, theta: float,
+    *, mac_margin: float = 0.0,
 ) -> InteractionLists:
     """Walk the tree once per group and emit its interaction lists.
 
@@ -141,6 +145,15 @@ def build_interaction_lists(
     internal nodes' children into the next frontier, so the Python loop
     runs depth-many rounds.  Emissions are sorted per group by DFS
     rank afterwards, which reproduces the stackless walk's order.
+
+    *mac_margin* > 0 tightens acceptance to
+    ``size^2 < theta^2 * max(dmin - margin, 0)^2`` — the drift-bounded
+    MAC of :mod:`repro.maintenance`: as long as the accumulated body /
+    centre-of-mass displacement since the lists were built stays within
+    the margin (per node and group, tracked tightly rather than
+    worst-case), every accepted node still satisfies the plain per-body
+    MAC at the *current* positions, so cached lists remain provable
+    supersets.  ``mac_margin=0`` is bit-identical to the plain MAC.
     """
     ng = groups.n_groups
     theta2 = theta * theta
@@ -149,7 +162,7 @@ def build_interaction_lists(
     if ng == 0:
         return InteractionLists(
             np.zeros(1, dtype=INDEX), empty_idx, np.empty(0, dtype=bool),
-            empty_idx, empty_idx, steps, theta,
+            empty_idx, empty_idx, steps, theta, mac_margin,
         )
 
     klass = view.klass
@@ -178,7 +191,11 @@ def build_interaction_lists(
         c = com[nd]
         d = np.maximum(glo[g] - c, 0.0) + np.maximum(c - ghi[g], 0.0)
         dmin2 = np.einsum("ij,ij->i", d, d)
-        accept = internal & (size2[nd] < theta2 * dmin2)
+        if mac_margin > 0.0:
+            dmin_eff = np.maximum(np.sqrt(dmin2) - mac_margin, 0.0)
+            accept = internal & (size2[nd] < theta2 * dmin_eff * dmin_eff)
+        else:
+            accept = internal & (size2[nd] < theta2 * dmin2)
         emit = accept | (kl == KLASS_POINT)
         if emit.any():
             rows_g.append(g[emit])
@@ -222,7 +239,7 @@ def build_interaction_lists(
     else:
         exact_groups = exact_nodes = empty_idx
     return InteractionLists(offsets, nodes, approx,
-                            exact_groups, exact_nodes, steps, theta)
+                            exact_groups, exact_nodes, steps, theta, mac_margin)
 
 
 def evaluate_interaction_lists(
