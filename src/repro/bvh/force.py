@@ -185,6 +185,7 @@ def _account_force(
         traversal_steps=total,
         traversal_steps_max=float(steps.max(initial=0)),
         warp_traversal_steps=warp_total,
+        mac_evals=total,  # every visit tests the MAC once
         loop_iterations=float(n),
         kernel_launches=1.0,
     )
@@ -283,6 +284,79 @@ def bvh_accelerations_grouped(
             ctx.counters, lists, groups,
             n_bodies=n, dim=dim, simt_width=simt_width,
             pairs=stats["pairs"], quad_terms=stats["quad_terms"],
+            visit_bytes=view.visit_bytes, built=built,
+            flops_per_visit=10.0,
+        )
+
+    out = np.empty_like(acc_s)
+    out[bvh.perm] = acc_s
+    return out
+
+
+def bvh_accelerations_dual(
+    bvh: BVH,
+    params: GravityParams = GravityParams(),
+    *,
+    theta: float = 0.5,
+    group_size: int = 32,
+    cc_mac: float = 1.5,
+    expansion_order: int = 2,
+    ctx=None,
+    simt_width: int = 32,
+    cache: dict | None = None,
+    eval_mode: str = "auto",
+    mac_margin: float = 0.0,
+) -> np.ndarray:
+    """BVH accelerations via the dual-tree cell-cell traversal.
+
+    The leaf-aligned Hilbert groups become a balanced target tree; the
+    simultaneous walk of :mod:`repro.traversal.dual` retires
+    well-separated cell pairs once through M2L + downsweep and defers
+    the near field to the grouped tile kernels.  ``cc_mac=0`` disables
+    the cell-cell branch and is bit-identical to the grouped mode.
+    """
+    # Imported here, not at module top: repro.traversal.dual imports
+    # this package's layout module, re-entering bvh/__init__.
+    from repro.traversal.dual import (
+        account_dual_force,
+        build_dual_lists,
+        build_target_tree,
+        evaluate_dual,
+    )
+
+    n = bvh.n_bodies
+    dim = bvh.x_sorted.shape[1]
+    if n == 0:
+        return np.zeros((0, dim), dtype=FLOAT)
+
+    key = ("dlists", float(theta), int(group_size), float(cc_mac),
+           int(expansion_order))
+    cached = cache.get(key) if cache is not None else None
+    built = cached is None or cached["groups"].n_bodies != n
+    view = _bvh_tree_view(bvh)
+    if built:
+        groups = make_groups(bvh.x_sorted, group_size)
+        tt = build_target_tree(groups)
+        dual = build_dual_lists(view, tt, theta, cc_mac=cc_mac,
+                                mac_margin=mac_margin)
+        cached = {"groups": groups, "dual": dual, "lists": dual.near}
+        if cache is not None:
+            cache[key] = cached
+    groups = cached["groups"]
+    dual = cached["dual"]
+
+    acc_s, stats = evaluate_dual(
+        view, dual, groups, bvh.x_sorted,
+        G=params.G, eps2=params.eps2, mode=eval_mode,
+        expansion_order=expansion_order, ctx=ctx,
+    )
+
+    if ctx is not None:
+        account_dual_force(
+            ctx.counters, dual, groups,
+            n_bodies=n, dim=dim, simt_width=simt_width,
+            pairs=stats["pairs"], quad_terms=stats["quad_terms"],
+            quad_far=stats["quad_far"], expansion_order=expansion_order,
             visit_bytes=view.visit_bytes, built=built,
             flops_per_visit=10.0,
         )

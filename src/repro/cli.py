@@ -52,6 +52,8 @@ def _cmd_run(args) -> int:
     cfg = SimulationConfig(algorithm=args.algorithm, theta=args.theta,
                            dt=args.dt, gravity=gravity,
                            traversal=args.traversal, group_size=args.group_size,
+                           cc_mac=args.cc_mac,
+                           expansion_order=args.expansion_order,
                            ranks=args.ranks, decomposition=args.decomposition,
                            rebalance_steps=args.rebalance_steps,
                            interconnect=args.interconnect,
@@ -100,7 +102,8 @@ def _print_profile(sim, rep, n_steps: int) -> None:
     print(f"--- profile: modeled on {sim.ctx.device.name}, "
           f"per step over {n_steps} ---")
     print(f"  {'phase':16s} {'model s/step':>12s} {'flops':>10s} "
-          f"{'bytes':>10s} {'comm B':>10s} {'launches':>8s}")
+          f"{'bytes':>10s} {'comm B':>10s} {'launches':>8s} "
+          f"{'MACs':>10s} {'near prs':>10s} {'cc prs':>10s}")
     total = 0.0
     for phase in STEP_ORDER:
         c = rep.counters.steps.get(phase)
@@ -111,7 +114,10 @@ def _print_profile(sim, rep, n_steps: int) -> None:
         nbytes = (c.bytes_read + c.bytes_written + c.bytes_irregular) / steps
         print(f"  {phase:16s} {t:12.3e} {c.flops / steps:10.3g} "
               f"{nbytes:10.3g} {c.comm_bytes / steps:10.3g} "
-              f"{c.kernel_launches / steps:8.3g}")
+              f"{c.kernel_launches / steps:8.3g} "
+              f"{c.mac_evals / steps:10.3g} "
+              f"{c.pairs_deferred / steps:10.3g} "
+              f"{c.pairs_accepted_cc / steps:10.3g}")
     print(f"  {'total':16s} {total:12.3e}")
     counts = None
     if sim.distributed is not None:
@@ -208,10 +214,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--dt", type=float, default=1e-3)
     p.add_argument("--traversal", default="lockstep",
-                   choices=["lockstep", "grouped"],
-                   help="force traversal: per-body lockstep or group-coherent")
+                   choices=["lockstep", "grouped", "dual"],
+                   help="force traversal: per-body lockstep, group-coherent, "
+                        "or dual-tree cell-cell with local expansions")
     p.add_argument("--group-size", type=int, default=32, dest="group_size",
-                   help="bodies per traversal group (grouped mode)")
+                   help="bodies per traversal group (grouped/dual modes)")
+    p.add_argument("--cc-mac", type=float, default=1.5, dest="cc_mac",
+                   help="dual mode: target-side opening multiplier of the "
+                        "cell-cell MAC (0 disables the far-field branch)")
+    p.add_argument("--expansion-order", type=int, default=2,
+                   dest="expansion_order", choices=[0, 1, 2],
+                   help="dual mode: local Taylor expansion order of the "
+                        "downsweep")
     p.add_argument("--ranks", type=int, default=1,
                    help="simulated ranks (>1 enables repro.distributed)")
     p.add_argument("--decomposition", default="static",

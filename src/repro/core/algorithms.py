@@ -156,6 +156,7 @@ class OctreeAlgorithm(ForceAlgorithm):
         from repro.octree.build_vectorized import build_octree_vectorized
         from repro.octree.force import (
             octree_accelerations,
+            octree_accelerations_dual,
             octree_accelerations_grouped,
         )
         from repro.octree.multipoles import (
@@ -202,7 +203,16 @@ class OctreeAlgorithm(ForceAlgorithm):
                 compute_multipoles_vectorized(pool, system.x, system.m, ctx,
                                               order=config.multipole_order)
         with ctx.step("force"):
-            if config.traversal == "grouped":
+            if config.traversal == "dual":
+                acc = octree_accelerations_dual(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    cc_mac=config.cc_mac,
+                    expansion_order=config.expansion_order,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
+                )
+            elif config.traversal == "grouped":
                 acc = octree_accelerations_grouped(
                     pool, system.x, system.m, config.gravity,
                     theta=config.theta, group_size=config.group_size,
@@ -229,7 +239,11 @@ class BVHAlgorithm(ForceAlgorithm):
 
     def accelerations(self, system, config, ctx, cache=None):
         from repro.bvh.build import assemble_bvh, hilbert_sort_permutation
-        from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
+        from repro.bvh.force import (
+            bvh_accelerations,
+            bvh_accelerations_dual,
+            bvh_accelerations_grouped,
+        )
 
         maint = None
         if config.tree_update != "rebuild":
@@ -255,7 +269,16 @@ class BVHAlgorithm(ForceAlgorithm):
                 bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
                                    order=config.multipole_order)
         with ctx.step("force"):
-            if config.traversal == "grouped":
+            if config.traversal == "dual":
+                acc = bvh_accelerations_dual(
+                    bvh, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    cc_mac=config.cc_mac,
+                    expansion_order=config.expansion_order,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
+                )
+            elif config.traversal == "grouped":
                 acc = bvh_accelerations_grouped(
                     bvh, config.gravity,
                     theta=config.theta, group_size=config.group_size,
@@ -291,6 +314,7 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
         from repro.octree.build_twostage import build_octree_twostage
         from repro.octree.force import (
             octree_accelerations,
+            octree_accelerations_dual,
             octree_accelerations_grouped,
         )
         from repro.octree.multipoles import compute_multipoles_vectorized
@@ -321,7 +345,16 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
                 order=config.multipole_order, account="levelwise",
             )
         with ctx.step("force"):
-            if config.traversal == "grouped":
+            if config.traversal == "dual":
+                acc = octree_accelerations_dual(
+                    pool, system.x, system.m, config.gravity,
+                    theta=config.theta, group_size=config.group_size,
+                    cc_mac=config.cc_mac,
+                    expansion_order=config.expansion_order,
+                    ctx=ctx, simt_width=config.simt_width, cache=entry,
+                    mac_margin=maint.mac_margin if maint is not None else 0.0,
+                )
+            elif config.traversal == "grouped":
                 acc = octree_accelerations_grouped(
                     pool, system.x, system.m, config.gravity,
                     theta=config.theta, group_size=config.group_size,

@@ -74,11 +74,29 @@ class SimulationConfig:
     #: walks the tree once per body (paper Fig. 3); ``"grouped"`` walks
     #: once per Hilbert-contiguous body group with a conservative group
     #: MAC, evaluates the emitted interaction lists as dense tiles, and
-    #: reuses the lists alongside the ``tree_reuse_steps`` cache.
+    #: reuses the lists alongside the ``tree_reuse_steps`` cache;
+    #: ``"dual"`` additionally organizes the groups into a target tree
+    #: and retires well-separated cell-cell pairs once via
+    #: multipole-to-local transfers plus an L2L/L2P downsweep
+    #: (:mod:`repro.traversal.dual`), deferring only the near field to
+    #: the grouped tile kernels.
     traversal: str = "lockstep"
-    #: Bodies per group for ``traversal="grouped"``.  ``group_size=1``
-    #: reproduces the lockstep walk bit for bit (at monopole order).
+    #: Bodies per group for ``traversal="grouped"``/``"dual"``.
+    #: ``group_size=1`` reproduces the lockstep walk bit for bit (at
+    #: monopole order, grouped traversal).
     group_size: int = 32
+    #: Dual traversal only: target-side opening multiplier of the
+    #: symmetric cell-cell MAC.  A pair is retired far-field when the
+    #: source passes the conservative MAC *and* the target box satisfies
+    #: ``size_t < theta * cc_mac * dmin``; larger values retire more
+    #: pairs per M2L at more Taylor-truncation error, ``0`` disables the
+    #: cell-cell branch entirely (bit-identical to ``"grouped"``).
+    cc_mac: float = 1.5
+    #: Dual traversal only: order of the local (Taylor) expansion the
+    #: downsweep carries — 0 = cell-centre force only, 1 = + Jacobian,
+    #: 2 = + kernel third derivatives (default; keeps the truncation
+    #: error inside the grouped envelope at the default ``cc_mac``).
+    expansion_order: int = 2
     #: SIMT width used for the divergence statistics of the lockstep
     #: force kernels (matches the warp width of the modeled GPU).
     simt_width: int = 32
@@ -146,10 +164,16 @@ class SimulationConfig:
             raise ConfigurationError(
                 "refit_disorder_threshold must be in [0, 1]"
             )
-        if self.traversal not in ("lockstep", "grouped"):
-            raise ConfigurationError("traversal must be 'lockstep' or 'grouped'")
+        if self.traversal not in ("lockstep", "grouped", "dual"):
+            raise ConfigurationError(
+                "traversal must be 'lockstep', 'grouped' or 'dual'"
+            )
         if not isinstance(self.group_size, int) or self.group_size < 1:
             raise ConfigurationError("group_size must be an integer >= 1")
+        if not (isinstance(self.cc_mac, (int, float)) and self.cc_mac >= 0):
+            raise ConfigurationError("cc_mac must be a non-negative number")
+        if self.expansion_order not in (0, 1, 2):
+            raise ConfigurationError("expansion_order must be 0, 1 or 2")
         if self.simt_width < 1:
             raise ConfigurationError("simt_width must be >= 1")
         if not isinstance(self.ranks, int) or self.ranks < 1:

@@ -135,6 +135,11 @@ class RemoteEvalStats:
     lists: InteractionLists
     pairs: int
     quad_terms: int
+    #: Dual-traversal remote evaluations carry their DualLists here
+    #: (None for grouped); the runtime then accounts the M2L/downsweep
+    #: work on top of the near-field tile work.
+    dual: object | None = None
+    quad_far: int = 0
 
 
 def remote_accelerations(
@@ -149,6 +154,9 @@ def remote_accelerations(
     exact_bodies: Callable[[int], list[int]] | None = None,
     x_src: np.ndarray | None = None,
     m_src: np.ndarray | None = None,
+    traversal: str = "grouped",
+    cc_mac: float = 1.5,
+    expansion_order: int = 2,
 ) -> tuple[np.ndarray, RemoteEvalStats]:
     """Force of one source rank's tree on a destination's body groups.
 
@@ -157,13 +165,44 @@ def remote_accelerations(
     per-body MAC of the lockstep kernels).  Bucket leaves of the source
     tree (octree duplicate-cell chains) are expanded exactly through
     *exact_bodies* against the source arrays.
+
+    ``traversal="dual"`` runs the cell-cell walk against the source
+    tree instead.  This stays inside the one-sided LET halo: the dual
+    walk only opens a source node that fails the conservative MAC
+    against some target box contained in the destination domain, and
+    failing the easier domain-level criterion is exactly what put the
+    node's children into the LET in the first place.
     """
-    lists = build_interaction_lists(view, groups, theta)
-    acc, stats = evaluate_interaction_lists(
-        view, lists, groups, x_sorted,
-        G=G, eps2=eps2, mode=eval_mode,
-        body_ids=np.full(x_sorted.shape[0], _FOREIGN_BODY_ID, dtype=INDEX),
-    )
+    dual = None
+    quad_far = 0
+    if traversal == "dual":
+        # Deferred import: repro.traversal.dual pulls in the BVH
+        # package, which this module must not load at import time.
+        from repro.traversal.dual import (
+            build_dual_lists,
+            build_target_tree,
+            evaluate_dual,
+        )
+
+        tt = build_target_tree(groups)
+        dual = build_dual_lists(view, tt, theta, cc_mac=cc_mac)
+        lists = dual.near
+        acc, stats = evaluate_dual(
+            view, dual, groups, x_sorted,
+            G=G, eps2=eps2, mode=eval_mode,
+            body_ids=np.full(x_sorted.shape[0], _FOREIGN_BODY_ID,
+                             dtype=INDEX),
+            expansion_order=expansion_order,
+        )
+        quad_far = stats["quad_far"]
+    else:
+        lists = build_interaction_lists(view, groups, theta)
+        acc, stats = evaluate_interaction_lists(
+            view, lists, groups, x_sorted,
+            G=G, eps2=eps2, mode=eval_mode,
+            body_ids=np.full(x_sorted.shape[0], _FOREIGN_BODY_ID,
+                             dtype=INDEX),
+        )
     pairs = stats["pairs"]
     if lists.exact_groups.size:
         if exact_bodies is None or x_src is None or m_src is None:
@@ -182,7 +221,8 @@ def remote_accelerations(
                 w = np.where(r2 > 0.0, G * mb * r2 ** -1.5, 0.0)
             acc[rows] += np.einsum("ij,ijk->ik", w, d)
             pairs += w.size
-    return acc, RemoteEvalStats(lists, pairs, stats["quad_terms"])
+    return acc, RemoteEvalStats(lists, pairs, stats["quad_terms"],
+                                dual=dual, quad_far=quad_far)
 
 
 def halo_point_accelerations(

@@ -46,6 +46,7 @@ from repro.machine.costmodel import CostModel
 from repro.machine.counters import StepCounters
 from repro.maintenance.disorder import coarsen_keys, key_disorder, sense_bits
 from repro.stdpar.context import ExecutionContext
+from repro.traversal.dual import account_dual_force
 from repro.traversal.engine import account_grouped_force
 from repro.traversal.groups import make_groups
 from repro.types import FLOAT, INDEX
@@ -217,7 +218,7 @@ class DistributedRuntime:
 
         acc = np.zeros((n, dim), dtype=FLOAT)
         with self.ctx.step("force"):
-            gs = cfg.group_size if cfg.traversal == "grouped" else 1
+            gs = cfg.group_size if cfg.traversal in ("grouped", "dual") else 1
             for d in range(K):
                 if counts[d] == 0:
                     continue
@@ -236,17 +237,35 @@ class DistributedRuntime:
                             views[s], groups_d, xr[d], cfg.theta,
                             G=cfg.gravity.G, eps2=cfg.gravity.eps2,
                             exact_bodies=exact(s), x_src=xr[s], m_src=mr[s],
+                            traversal=cfg.traversal
+                            if cfg.traversal == "dual" else "grouped",
+                            cc_mac=cfg.cc_mac,
+                            expansion_order=cfg.expansion_order,
                         )
                         acc_d += acc_c
-                        account_grouped_force(
-                            rc.counters, st.lists, groups_d,
-                            n_bodies=int(counts[d]), dim=dim,
-                            simt_width=cfg.simt_width,
-                            pairs=st.pairs, quad_terms=st.quad_terms,
-                            visit_bytes=views[s].visit_bytes, built=True,
-                            flops_per_visit=8.0 if cfg.algorithm == "octree" else 10.0,
-                            launches=remote_launches,
-                        )
+                        fpv = 8.0 if cfg.algorithm == "octree" else 10.0
+                        if st.dual is not None:
+                            account_dual_force(
+                                rc.counters, st.dual, groups_d,
+                                n_bodies=int(counts[d]), dim=dim,
+                                simt_width=cfg.simt_width,
+                                pairs=st.pairs, quad_terms=st.quad_terms,
+                                quad_far=st.quad_far,
+                                expansion_order=cfg.expansion_order,
+                                visit_bytes=views[s].visit_bytes,
+                                built=True, flops_per_visit=fpv,
+                                launches=remote_launches,
+                            )
+                        else:
+                            account_grouped_force(
+                                rc.counters, st.lists, groups_d,
+                                n_bodies=int(counts[d]), dim=dim,
+                                simt_width=cfg.simt_width,
+                                pairs=st.pairs, quad_terms=st.quad_terms,
+                                visit_bytes=views[s].visit_bytes, built=True,
+                                flops_per_visit=fpv,
+                                launches=remote_launches,
+                            )
                         remote_launches = 0.0
                     acc[members[d]] = acc_d
 
@@ -402,6 +421,7 @@ class DistributedRuntime:
     def _octree_closures(self, pools, xr, mr):
         from repro.octree.force import (
             octree_accelerations,
+            octree_accelerations_dual,
             octree_accelerations_grouped,
         )
 
@@ -409,6 +429,13 @@ class DistributedRuntime:
 
         def local_force(r: int) -> np.ndarray:
             rc = self.rank_ctx[r]
+            if cfg.traversal == "dual":
+                return octree_accelerations_dual(
+                    pools[r], xr[r], mr[r], cfg.gravity,
+                    theta=cfg.theta, group_size=cfg.group_size,
+                    cc_mac=cfg.cc_mac, expansion_order=cfg.expansion_order,
+                    ctx=rc, simt_width=cfg.simt_width,
+                )
             if cfg.traversal == "grouped":
                 return octree_accelerations_grouped(
                     pools[r], xr[r], mr[r], cfg.gravity,
@@ -495,12 +522,23 @@ class DistributedRuntime:
         return (views, *self._bvh_closures(bvhs, xr, mr))
 
     def _bvh_closures(self, bvhs, xr, mr):
-        from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
+        from repro.bvh.force import (
+            bvh_accelerations,
+            bvh_accelerations_dual,
+            bvh_accelerations_grouped,
+        )
 
         cfg = self.config
 
         def local_force(r: int) -> np.ndarray:
             rc = self.rank_ctx[r]
+            if cfg.traversal == "dual":
+                return bvh_accelerations_dual(
+                    bvhs[r], cfg.gravity,
+                    theta=cfg.theta, group_size=cfg.group_size,
+                    cc_mac=cfg.cc_mac, expansion_order=cfg.expansion_order,
+                    ctx=rc, simt_width=cfg.simt_width,
+                )
             if cfg.traversal == "grouped":
                 return bvh_accelerations_grouped(
                     bvhs[r], cfg.gravity,

@@ -66,6 +66,17 @@ class Counters:
     #: Grouped traversal: body-node pairs evaluated from the lists (the
     #: dense tile work, including padding entries of partial groups).
     list_eval_interactions: float = 0.0
+    #: Multipole-acceptance tests executed (per-body walk visits for
+    #: lockstep, per-group walk visits for grouped, (target, source)
+    #: pair tests for the dual-tree walk) — the list-build pressure the
+    #: ``--profile`` table surfaces for every traversal mode.
+    mac_evals: float = 0.0
+    #: Dual traversal: cell-cell pairs accepted far-field and evaluated
+    #: once via M2L into a local expansion.
+    pairs_accepted_cc: float = 0.0
+    #: Pairs classified near-field and deferred to the body-level
+    #: kernels (interaction-list entries re-evaluated every step).
+    pairs_deferred: float = 0.0
     #: Bytes crossing the modeled interconnect fabric (LET halo nodes,
     #: migrated bodies, collective partials); charged at link bandwidth
     #: by the cost model, never at memory bandwidth.

@@ -190,7 +190,8 @@ class TreeMaintainer:
     def finish_step(self, x: np.ndarray) -> None:
         """Post-force bookkeeping: list snapshots + policy feedback."""
         for key, cached in self.entry.items():
-            if not (isinstance(key, tuple) and key and key[0] == "ilists"):
+            if not (isinstance(key, tuple) and key
+                    and key[0] in ("ilists", "dlists")):
                 continue
             state = self._list_state.get(key)
             if state is None or state[0] is not cached["lists"]:
@@ -265,7 +266,8 @@ class TreeMaintainer:
         theta = self.config.theta
         n, dim = x.shape
         for key in [k for k in self.entry
-                    if isinstance(k, tuple) and k and k[0] == "ilists"]:
+                    if isinstance(k, tuple) and k
+                    and k[0] in ("ilists", "dlists")]:
             cached = self.entry[key]
             state = self._list_state.get(key)
             if state is None or state[0] is not cached["lists"]:
@@ -283,14 +285,23 @@ class TreeMaintainer:
                     node_drift = octree_node_drift(self._pool, disp)
                     size_factor = 0.0  # octree cell sizes never change
                 grp = group_drift(cached["groups"].offsets, rows)
+                nf = 0
                 with np.errstate(invalid="ignore"):
-                    ok = lists_valid(cached["lists"], grp, node_drift,
-                                     size_factor=size_factor)
+                    if key[0] == "dlists":
+                        from repro.traversal.dual import dual_lists_valid
+
+                        ok = dual_lists_valid(cached["dual"], grp,
+                                              node_drift,
+                                              size_factor=size_factor)
+                        nf = cached["dual"].n_far
+                    else:
+                        ok = lists_valid(cached["lists"], grp, node_drift,
+                                         size_factor=size_factor)
                 nn = node_drift.shape[0]
                 ne = cached["lists"].nodes.shape[0]
                 self.ctx.counters.add(
-                    flops=(3.0 * dim + 1.0) * n + 2.0 * nn + 3.0 * ne,
-                    bytes_read=8.0 * (n * dim + nn + 2.0 * ne),
+                    flops=(3.0 * dim + 1.0) * n + 2.0 * nn + 3.0 * (ne + nf),
+                    bytes_read=8.0 * (n * dim + nn + 2.0 * (ne + nf)),
                     bytes_written=8.0 * nn,
                     loop_iterations=float(nn),
                     kernel_launches=2.0,

@@ -227,6 +227,7 @@ def _account_force(
         traversal_steps=total,
         traversal_steps_max=float(steps.max(initial=0)),
         warp_traversal_steps=warp_total,
+        mac_evals=total,  # every visit tests the MAC once
         loop_iterations=float(n),
         kernel_launches=1.0,
     )
@@ -381,6 +382,107 @@ def octree_accelerations_grouped(
             ctx.counters, lists, groups,
             n_bodies=n, dim=dim, simt_width=simt_width,
             pairs=pairs, quad_terms=stats["quad_terms"],
+            visit_bytes=view.visit_bytes, built=built,
+            sort_comparisons=float(n) * float(np.log2(max(n, 2))) if built else 0.0,
+        )
+
+    out = np.empty_like(acc_s)
+    out[perm] = acc_s
+    return out
+
+
+def octree_accelerations_dual(
+    pool: OctreePool,
+    x: np.ndarray,
+    m: np.ndarray,
+    params: GravityParams = GravityParams(),
+    *,
+    theta: float = 0.5,
+    group_size: int = 32,
+    cc_mac: float = 1.5,
+    expansion_order: int = 2,
+    ctx=None,
+    simt_width: int = 32,
+    cache: dict | None = None,
+    eval_mode: str = "auto",
+    mac_margin: float = 0.0,
+) -> np.ndarray:
+    """Barnes-Hut accelerations via the dual-tree cell-cell traversal.
+
+    Same Hilbert grouping as :func:`octree_accelerations_grouped`, but
+    groups are organized into a target tree and classified against the
+    octree by the simultaneous walk of :mod:`repro.traversal.dual`:
+    well-separated cell pairs are evaluated once via M2L and swept down
+    to bodies, the near field falls back to the grouped tile kernels
+    verbatim.  ``cc_mac=0`` disables the cell-cell branch and is
+    bit-identical to the grouped mode.
+    """
+    # Imported here, not at module top: repro.traversal.dual itself
+    # imports the BVH layout, whose package init re-enters this module.
+    from repro.traversal.dual import (
+        account_dual_force,
+        build_dual_lists,
+        build_target_tree,
+        evaluate_dual,
+    )
+
+    _prepare(pool)
+    x = np.asarray(x, dtype=FLOAT)
+    n, dim = x.shape
+    if n == 0 or pool.n_nodes == 0:
+        return np.zeros((n, dim), dtype=FLOAT)
+
+    key = ("dlists", float(theta), int(group_size), float(cc_mac),
+           int(expansion_order))
+    cached = cache.get(key) if cache is not None else None
+    built = cached is None or cached["perm"].shape[0] != n
+    view = _octree_tree_view(pool)
+    if built:
+        perm = _hilbert_body_order(x, pool.box)
+        groups = make_groups(x[perm], group_size)
+        tt = build_target_tree(groups)
+        dual = build_dual_lists(view, tt, theta, cc_mac=cc_mac,
+                                mac_margin=mac_margin)
+        # "lists" aliases the near side so the maintenance snapshot /
+        # drift gate sees the same shape as a grouped entry.
+        cached = {"perm": perm, "groups": groups, "dual": dual,
+                  "lists": dual.near}
+        if cache is not None:
+            cache[key] = cached
+    perm = cached["perm"]
+    groups = cached["groups"]
+    dual = cached["dual"]
+
+    acc_s, stats = evaluate_dual(
+        view, dual, groups, x[perm],
+        G=params.G, eps2=params.eps2, body_ids=perm, mode=eval_mode,
+        expansion_order=expansion_order, ctx=ctx,
+    )
+
+    # Exact expansion of bucket leaves (same scalar math as grouped).
+    pairs = stats["pairs"]
+    eps2 = params.eps2
+    G = params.G
+    go = groups.offsets
+    for g, node in zip(dual.near.exact_groups, dual.near.exact_nodes):
+        bodies = pool.leaf_bodies(int(node))
+        for row in range(int(go[g]), int(go[g + 1])):
+            i = int(perm[row])
+            for b in bodies:
+                if b == i:
+                    continue
+                d = x[b] - x[i]
+                r2b = float(d @ d) + eps2
+                if r2b > 0.0:
+                    acc_s[row] += G * m[b] * r2b**-1.5 * d
+                    pairs += 1
+
+    if ctx is not None:
+        account_dual_force(
+            ctx.counters, dual, groups,
+            n_bodies=n, dim=dim, simt_width=simt_width,
+            pairs=pairs, quad_terms=stats["quad_terms"],
+            quad_far=stats["quad_far"], expansion_order=expansion_order,
             visit_bytes=view.visit_bytes, built=built,
             sort_comparisons=float(n) * float(np.log2(max(n, 2))) if built else 0.0,
         )

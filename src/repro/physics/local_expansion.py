@@ -1,0 +1,259 @@
+"""Local expansions for the dual-tree traversal (M2L / L2L / L2P).
+
+The dual-tree walk (:mod:`repro.traversal.dual`) approximates the
+effect of a well-separated *source cell* on a whole *target cell* once,
+instead of once per target body/group.  The machinery is a first-order
+Cartesian Taylor expansion of the (softened) monopole acceleration
+field about the target cell's centre ``c``:
+
+    a(c + delta)  ~=  a0 + J delta
+
+* **M2L** (multipole-to-local): a far source node with centre of mass
+  ``s``, mass ``M`` and separation ``d = s - c``,
+  ``r2 = |d|^2 + eps^2``, contributes
+
+      a0 += G M d r2^-3/2                      (+ quadrupole term)
+      J  += G M (3 d d^T r2^-5/2  -  I r2^-3/2)
+
+  — the exact value and Jacobian of the Plummer-softened kernel at the
+  centre, so softening is treated consistently rather than as an
+  afterthought.
+* **L2L** (local-to-local): shifting the truncated series from a parent
+  centre to a child centre is exact at the stored order:
+  ``a0' = a0 + J (c' - c)``, ``J' = J``.  The downsweep applies this
+  top-down, one balanced-tree level per parallel round.
+* **L2P** (local-to-particle): each body evaluates its leaf's series at
+  its own position, ``acc += a0 + J (x - c)``.
+
+At ``expansion_order=2`` the series additionally carries the symmetric
+third-derivative tensor ``H`` of the kernel (``H_ijk = dJ_ij/dx_k``):
+
+    M2L:  H += G M (15 d_i d_j d_k r2^-7/2
+                    - 3 (delta_ij d_k + delta_ik d_j + delta_jk d_i)
+                        r2^-5/2)
+    L2L:  a0' = a0 + J delta + 1/2 H:delta delta
+          J'  = J + H . delta,   H' = H
+    L2P:  acc += a0 + J dx + 1/2 H:dx dx
+
+which pushes the Taylor truncation from second to third order in the
+(target size / distance) ratio — the accuracy headroom that lets the
+dual walk open ``cc_mac`` past 1 while staying inside the grouped-mode
+error envelope.
+
+Error model: a far pair is accepted only when the *source* passes the
+conservative MAC against the target box (``size_s < theta * dmin``, so
+the multipole error keeps the paper's O(theta^2) bound) **and** the
+*target* box is small against the same distance
+(``size_t < theta * cc_mac * dmin``), which bounds the Taylor
+truncation — the first neglected term — by
+O((theta * cc_mac)^(order + 1)) relative.  Both error sources
+therefore scale with theta, and the total stays within a small constant
+of the one-sided grouped bound (pinned by the property tests).
+``expansion_order=0`` keeps only ``a0`` (the cell-centre force, a
+cheaper but coarser substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.physics.gravity import FLOPS_PER_INTERACTION
+from repro.physics.multipole import quadrupole_accel
+from repro.types import FLOAT
+
+#: FP64 work of one M2L beyond the monopole point evaluation (the
+#: Jacobian outer product + scaled identity, dim = 3).
+M2L_JACOBIAN_FLOPS = 40.0
+#: Extra FP64 of the order-2 M2L (symmetric third-derivative tensor).
+M2L_HESSIAN_FLOPS = 90.0
+#: Per-node L2L shift (matrix-vector + adds) and per-body L2P work at
+#: order 1; order 2 adds the tensor contraction on top.
+L2L_FLOPS = 24.0
+L2P_FLOPS = 24.0
+L2_HESSIAN_FLOPS = 45.0
+
+
+def expansion_words(dim: int, order: int) -> float:
+    """Stored floats per node: ``a0``, plus the Jacobian at order >= 1,
+    plus the third-derivative tensor at order >= 2."""
+    words = dim
+    if order >= 1:
+        words += dim * dim
+    if order >= 2:
+        words += dim * dim * dim
+    return float(words)
+
+
+@dataclass
+class LocalExpansion:
+    """Per-target-node truncated Taylor series of the acceleration."""
+
+    a0: np.ndarray               # (n_nodes, dim) value at node centre
+    jac: np.ndarray | None       # (n_nodes, dim, dim); None at order 0
+    #: (n_nodes, dim, dim, dim) kernel third derivatives; None below
+    #: order 2.  Symmetric in all index pairs.
+    hess: np.ndarray | None = None
+
+    @property
+    def order(self) -> int:
+        if self.hess is not None:
+            return 2
+        return 0 if self.jac is None else 1
+
+    @classmethod
+    def zeros(cls, n_nodes: int, dim: int, order: int = 1) -> "LocalExpansion":
+        jac = (np.zeros((n_nodes, dim, dim), dtype=FLOAT)
+               if order >= 1 else None)
+        hess = (np.zeros((n_nodes, dim, dim, dim), dtype=FLOAT)
+                if order >= 2 else None)
+        return cls(np.zeros((n_nodes, dim), dtype=FLOAT), jac, hess)
+
+
+def m2l_accumulate(
+    exp: LocalExpansion,
+    far_t: np.ndarray,
+    far_s: np.ndarray,
+    com: np.ndarray,
+    mass: np.ndarray,
+    center: np.ndarray,
+    *,
+    G: float = 1.0,
+    eps2: float = 0.0,
+    quad: np.ndarray | None = None,
+) -> int:
+    """Accumulate every far pair's field into its target's expansion.
+
+    ``far_t`` indexes target-tree nodes (rows of *center* / the
+    expansion), ``far_s`` source-tree nodes (rows of *com* / *mass*).
+    Pairs sharing a target are scattered with ``np.add.at``; the caller
+    provides them in a deterministic order, so the accumulation —
+    and hence the whole dual force — is bitwise reproducible.
+
+    Returns the number of quadrupole terms applied (for accounting).
+    """
+    if far_t.size == 0:
+        return 0
+    d = com[far_s] - center[far_t]
+    r2 = np.einsum("kj,kj->k", d, d) + eps2
+    inv_r3 = r2 ** -1.5
+    w = G * mass[far_s] * inv_r3
+    a0_terms = w[:, None] * d
+    quad_terms = 0
+    if quad is not None:
+        a0_terms += quadrupole_accel(d, r2, quad[far_s], G)
+        quad_terms = int(far_t.shape[0])
+    np.add.at(exp.a0, far_t, a0_terms)
+    if exp.jac is not None:
+        dim = d.shape[1]
+        inv_r5 = inv_r3 / r2
+        jac_terms = (3.0 * G * mass[far_s] * inv_r5)[:, None, None] \
+            * np.einsum("ki,kj->kij", d, d)
+        jac_terms -= (G * mass[far_s] * inv_r3)[:, None, None] * np.eye(dim)
+        np.add.at(exp.jac, far_t, jac_terms)
+        if exp.hess is not None:
+            inv_r7 = inv_r5 / r2
+            eye = np.eye(dim)
+            hess_terms = (15.0 * G * mass[far_s] * inv_r7)[:, None, None, None] \
+                * np.einsum("ki,kj,kl->kijl", d, d, d)
+            w5 = (3.0 * G * mass[far_s] * inv_r5)
+            hess_terms -= w5[:, None, None, None] * (
+                np.einsum("ij,kl->kijl", eye, d)
+                + np.einsum("il,kj->kijl", eye, d)
+                + np.einsum("jl,ki->kijl", eye, d)
+            )
+            np.add.at(exp.hess, far_t, hess_terms)
+    return quad_terms
+
+
+def l2l_shift(
+    exp: LocalExpansion,
+    parents: np.ndarray,
+    children: np.ndarray,
+    center: np.ndarray,
+) -> None:
+    """Shift parent expansions into *children* (one tree level).
+
+    Exact at the stored order: the child inherits the parent's series
+    re-centred at the child centre.  Empty nodes carry zero expansions
+    and zero centres, so no masking is needed — their contribution is
+    identically zero.
+    """
+    exp.a0[children] += exp.a0[parents]
+    if exp.jac is not None:
+        delta = center[children] - center[parents]
+        exp.a0[children] += np.einsum(
+            "kij,kj->ki", exp.jac[parents], delta)
+        exp.jac[children] += exp.jac[parents]
+        if exp.hess is not None:
+            hp = exp.hess[parents]
+            exp.a0[children] += 0.5 * np.einsum(
+                "kijl,kj,kl->ki", hp, delta, delta)
+            exp.jac[children] += np.einsum("kijl,kl->kij", hp, delta)
+            exp.hess[children] += hp
+
+
+def l2l_sweep(exp: LocalExpansion, layout, center: np.ndarray, ctx=None) -> int:
+    """Top-down downsweep over the balanced target tree.
+
+    One parallel round per level (the nodes of a level are independent:
+    each child is written exactly once, no atomics), expressed as a
+    ``stdpar.for_each`` under ``par_unseq`` when a context is given —
+    the same policy/vectorization-safety rules as every other kernel.
+    Returns the number of child nodes shifted (for accounting).
+    """
+    shifted = 0
+    for level in range(1, layout.n_levels):
+        sl = layout.level_slice(level)
+        children = np.arange(sl.start, sl.stop, dtype=np.int64)
+        parents = (children - 1) // 2
+        shifted += children.shape[0]
+        if ctx is not None:
+            from repro.stdpar.algorithms import for_each
+            from repro.stdpar.kernel import Kernel
+            from repro.stdpar.policy import par_unseq
+
+            for_each(
+                par_unseq, children,
+                Kernel(name="l2l_shift",
+                       batch=lambda ch, p=parents: l2l_shift(
+                           exp, p, ch, center)),
+                ctx,
+            )
+        else:
+            l2l_shift(exp, parents, children, center)
+    return shifted
+
+
+def l2p_evaluate(
+    exp: LocalExpansion,
+    leaf_of_row: np.ndarray,
+    x_sorted: np.ndarray,
+    center: np.ndarray,
+) -> np.ndarray:
+    """Evaluate each body's leaf expansion at the body position."""
+    a = exp.a0[leaf_of_row].copy()
+    if exp.jac is not None:
+        delta = x_sorted - center[leaf_of_row]
+        a += np.einsum("kij,kj->ki", exp.jac[leaf_of_row], delta)
+        if exp.hess is not None:
+            a += 0.5 * np.einsum(
+                "kijl,kj,kl->ki", exp.hess[leaf_of_row], delta, delta)
+    return a
+
+
+def m2l_flops(dim: int, order: int) -> float:
+    """FP64 per far pair: point kernel + derivative tensors by order."""
+    flops = FLOPS_PER_INTERACTION
+    if order >= 1:
+        flops += M2L_JACOBIAN_FLOPS
+    if order >= 2:
+        flops += M2L_HESSIAN_FLOPS
+    return flops
+
+
+def l2_flops(order: int) -> float:
+    """FP64 of one L2L shift / one L2P evaluation at *order*."""
+    base = L2L_FLOPS if order >= 1 else 6.0
+    return base + (L2_HESSIAN_FLOPS if order >= 2 else 0.0)

@@ -12,7 +12,11 @@ both tree strategies (octree and Hilbert BVH):
   per-group AABBs;
 * :mod:`repro.traversal.engine` — the generic list-building walk
   (conservative group MAC), the dense tile evaluator, and the grouped
-  counter accounting.
+  counter accounting;
+* :mod:`repro.traversal.dual` — the dual-tree cell-cell walk: a target
+  tree over the groups, a symmetric MAC that retires well-separated
+  cell pairs once via M2L into local expansions, and the L2L/L2P
+  downsweep that carries them to bodies.
 
 At ``group_size=1`` the group AABB degenerates to the body's position,
 the conservative MAC coincides with the per-body criterion, and the
@@ -33,16 +37,35 @@ from repro.traversal.engine import (
 )
 from repro.traversal.groups import BodyGroups, make_groups
 
+# Imported last: dual pulls in the BVH layout, whose package init needs
+# repro.traversal.engine to already be importable.
+from repro.traversal.dual import (  # noqa: E402
+    DualLists,
+    TargetTree,
+    account_dual_force,
+    build_dual_lists,
+    build_target_tree,
+    dual_lists_valid,
+    evaluate_dual,
+)
+
 __all__ = [
     "BodyGroups",
+    "DualLists",
     "InteractionLists",
+    "TargetTree",
     "TreeView",
     "KLASS_EXACT",
     "KLASS_INTERNAL",
     "KLASS_POINT",
     "KLASS_SKIP",
+    "account_dual_force",
     "account_grouped_force",
+    "build_dual_lists",
     "build_interaction_lists",
+    "build_target_tree",
+    "dual_lists_valid",
+    "evaluate_dual",
     "evaluate_interaction_lists",
     "make_groups",
 ]

@@ -1,0 +1,470 @@
+"""Dual-tree cell-cell force traversal with a local-expansion downsweep.
+
+The grouped engine (:mod:`repro.traversal.engine`) is one-sided: every
+body group re-derives its interaction list against the source tree, so
+a well-separated *pair of cells* is re-classified and re-evaluated once
+per target group.  The dual walk removes that redundancy.  Target
+groups are organized into a balanced binary **target tree** (the same
+implicit heap layout as the Hilbert BVH, built over the
+Hilbert-contiguous group boxes), and a simultaneous walk over
+(target node, source node) pairs classifies each pair:
+
+* **far** — the source passes the conservative MAC against the target
+  box *and* the target box is small against the same distance
+  (``size_t < theta * cc_mac * dmin``): the pair is evaluated **once**
+  via M2L into the target node's local expansion
+  (:mod:`repro.physics.local_expansion`) and never touches the bodies
+  below either cell again;
+* **recurse** — otherwise the larger cell opens: the target splits
+  whenever the source already passes its MAC (see below), else
+  whichever cell is bigger;
+* **near** — pairs reaching a leaf target fall back to the grouped
+  engine's semantics verbatim: accepted nodes and point leaves are
+  emitted into ordinary per-group interaction lists (evaluated by the
+  existing dense tile kernels), bucket leaves are recorded for exact
+  expansion.
+
+The split rule "if the source passes its MAC, split the **target**,
+never the source" gives two structural guarantees:
+
+1. **Exactness fallback** — with the cell-cell branch disabled
+   (``cc_mac = 0``) no pair is ever far and no source is ever split
+   above a leaf target, so the walk degenerates into exactly the
+   grouped per-group source walk and the emitted lists — hence the
+   forces — are bit-identical to ``traversal="grouped"``.
+2. **LET superset** — the walk only opens a source node that fails the
+   conservative MAC against some target box, which is contained in the
+   rank's domain box; failing the easier criterion implies failing the
+   domain-level one, so every source node a multi-rank dual walk visits
+   is already inside the one-sided LET halo the distributed runtime
+   exchanges.  Multi-rank dual traversal therefore works unchanged.
+
+Refit composability: both criteria are built against
+``mac_threshold2(dmin2, theta2, mac_margin)`` — the drift-bounded MAC —
+so cached :class:`DualLists` remain provable supersets while the
+observed drift stays inside the margin; :func:`dual_lists_valid` is the
+gate (near lists via the grouped gate, far pairs via a target-subtree
+drift sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bvh.layout import BVHLayout, next_pow2
+from repro.machine.counters import Counters
+from repro.maintenance.drift import lists_valid
+from repro.physics.local_expansion import (
+    LocalExpansion,
+    expansion_words,
+    l2_flops,
+    l2l_sweep,
+    l2p_evaluate,
+    m2l_accumulate,
+    m2l_flops,
+)
+from repro.physics.multipole import QUAD_EXTRA_BYTES, QUAD_EXTRA_FLOPS
+from repro.traversal.engine import (
+    KLASS_EXACT,
+    KLASS_INTERNAL,
+    KLASS_POINT,
+    KLASS_SKIP,
+    InteractionLists,
+    TreeView,
+    aabb_dmin2,
+    account_grouped_force,
+    evaluate_interaction_lists,
+    mac_threshold2,
+)
+from repro.traversal.groups import BodyGroups
+from repro.types import FLOAT, INDEX
+
+
+@dataclass(frozen=True)
+class TargetTree:
+    """Balanced implicit binary tree over the Hilbert-contiguous groups.
+
+    Leaf ``first_leaf + g`` is group ``g``'s AABB (padding leaves up to
+    the next power of two are empty); internal boxes are unions, built
+    bottom-up one level per round.  ``center`` is the box centre (zero
+    for empty nodes) — the expansion centre of the downsweep — and
+    ``size2`` the squared longest side entering the cell-cell MAC.
+    """
+
+    layout: BVHLayout
+    lo: np.ndarray       # (n_nodes, dim)
+    hi: np.ndarray       # (n_nodes, dim)
+    center: np.ndarray   # (n_nodes, dim)
+    size2: np.ndarray    # (n_nodes,)
+    count: np.ndarray    # (n_nodes,) bodies below
+    n_groups: int
+
+    @property
+    def first_leaf(self) -> int:
+        return self.layout.first_leaf
+
+    def leaf_of(self, g: np.ndarray) -> np.ndarray:
+        return self.layout.first_leaf + g
+
+
+def build_target_tree(groups: BodyGroups) -> TargetTree:
+    """Bottom-up union sweep over the group boxes (heap order)."""
+    ng = groups.n_groups
+    dim = groups.lo.shape[1] if ng else 3
+    layout = BVHLayout(next_pow2(ng))
+    nn = layout.n_nodes
+    fl = layout.first_leaf
+    lo = np.full((nn, dim), np.inf, dtype=FLOAT)
+    hi = np.full((nn, dim), -np.inf, dtype=FLOAT)
+    count = np.zeros(nn, dtype=np.int64)
+    if ng:
+        lo[fl:fl + ng] = groups.lo
+        hi[fl:fl + ng] = groups.hi
+        count[fl:fl + ng] = np.diff(groups.offsets)
+    for level in range(layout.n_levels - 2, -1, -1):
+        sl = layout.level_slice(level)
+        cl = layout.level_slice(level + 1)
+        k = sl.stop - sl.start
+        lo[sl] = lo[cl].reshape(k, 2, dim).min(axis=1)
+        hi[sl] = hi[cl].reshape(k, 2, dim).max(axis=1)
+        count[sl] = count[cl].reshape(k, 2).sum(axis=1)
+    occupied = count > 0
+    center = np.zeros((nn, dim), dtype=FLOAT)
+    center[occupied] = 0.5 * (lo[occupied] + hi[occupied])
+    side = np.zeros(nn, dtype=FLOAT)
+    side[occupied] = (hi[occupied] - lo[occupied]).max(axis=1)
+    return TargetTree(layout, lo, hi, center, side * side, count, ng)
+
+
+@dataclass
+class DualLists:
+    """Classified output of one dual walk (cacheable alongside ilists)."""
+
+    near: InteractionLists    # leaf-target emissions, grouped-engine CSR
+    far_t: np.ndarray         # (n_far,) target-tree node per far pair
+    far_s: np.ndarray         # (n_far,) source node per far pair
+    tt: TargetTree
+    theta: float
+    cc_mac: float
+    mac_margin: float
+    #: (target, source) MAC evaluations the walk performed.
+    mac_evals: int
+
+    @property
+    def n_far(self) -> int:
+        return int(self.far_t.shape[0])
+
+
+def build_dual_lists(
+    view: TreeView,
+    tt: TargetTree,
+    theta: float,
+    *,
+    cc_mac: float = 1.0,
+    mac_margin: float = 0.0,
+) -> DualLists:
+    """Simultaneous walk over (target node, source node) pairs.
+
+    Level-synchronous like the grouped build: every round classifies
+    all pending pairs at once; far pairs retire into the M2L list,
+    near-field decisions at leaf targets are emitted in the grouped
+    engine's exact semantics, everything else expands into the next
+    frontier.  Both MACs share :func:`mac_threshold2`, so the drift
+    margin inflates the opening radius of near *and* far acceptance.
+    """
+    empty_idx = np.empty(0, dtype=INDEX)
+    ng = tt.n_groups
+    theta2 = theta * theta
+    cc2 = cc_mac * cc_mac
+    steps = np.zeros(ng, dtype=np.int64)
+
+    def _empty_near() -> InteractionLists:
+        return InteractionLists(
+            np.zeros(ng + 1, dtype=INDEX), empty_idx,
+            np.empty(0, dtype=bool), empty_idx, empty_idx,
+            steps, theta, mac_margin,
+        )
+
+    if ng == 0 or view.klass.shape[0] == 0 or tt.count[0] == 0:
+        return DualLists(_empty_near(), empty_idx, empty_idx, tt,
+                         theta, cc_mac, mac_margin, 0)
+
+    klass = view.klass
+    ssize2 = view.size2
+    com = view.com
+    first_child = view.first_child
+    branch = view.branch
+    fl = tt.first_leaf
+    tsize2 = tt.size2
+    tcount = tt.count
+    tlo, thi = tt.lo, tt.hi
+    cc_on = cc_mac > 0.0
+
+    rows_g: list[np.ndarray] = []
+    rows_nd: list[np.ndarray] = []
+    rows_ap: list[np.ndarray] = []
+    ex_g: list[np.ndarray] = []
+    ex_nd: list[np.ndarray] = []
+    far_t: list[np.ndarray] = []
+    far_s: list[np.ndarray] = []
+    mac_evals = 0
+
+    T = np.zeros(1, dtype=INDEX)
+    S = np.zeros(1, dtype=INDEX)
+    while T.size:
+        live = (tcount[T] > 0) & (klass[S] != KLASS_SKIP)
+        T, S = T[live], S[live]
+        if not T.size:
+            break
+        mac_evals += int(T.size)
+        kl = klass[S]
+        internal = kl == KLASS_INTERNAL
+        dmin2 = aabb_dmin2(tlo[T], thi[T], com[S])
+        thr = mac_threshold2(dmin2, theta2, mac_margin)
+        src_ok = (internal & (ssize2[S] < thr)) | (kl == KLASS_POINT)
+        far = np.zeros(T.shape[0], dtype=bool)
+        if cc_on:
+            # Cell-cell acceptance: source multipole valid for the whole
+            # target box AND target small enough for the truncated
+            # Taylor series; dmin2 > 0 keeps the expansion centre
+            # strictly outside the source's softening ball.
+            far = src_ok & (tsize2[T] < cc2 * thr) & (dmin2 > 0.0)
+            if far.any():
+                far_t.append(T[far])
+                far_s.append(S[far])
+
+        rest = ~far
+        t_leaf = rest & (T >= fl)
+        # --- leaf targets: the grouped engine's decisions, verbatim ---
+        emit = t_leaf & src_ok
+        if emit.any():
+            rows_g.append((T[emit] - fl).astype(INDEX))
+            rows_nd.append(S[emit])
+            rows_ap.append(internal[emit])
+        exact = t_leaf & (kl == KLASS_EXACT)
+        if exact.any():
+            ex_g.append((T[exact] - fl).astype(INDEX))
+            ex_nd.append(S[exact])
+        np.add.at(steps, (T[t_leaf] - fl).astype(np.int64), 1)
+        open_src_leaf = t_leaf & internal & ~src_ok
+        # --- internal targets ---------------------------------------
+        t_int = rest & (T < fl)
+        # A source that already passes its MAC (or must be expanded
+        # body-by-body) never opens above a leaf target: descend the
+        # target instead.  This is what makes cc_mac=0 degenerate into
+        # the grouped walk and keeps multi-rank walks inside the LET.
+        split_t = t_int & (src_ok | (kl == KLASS_EXACT) | ~internal)
+        rest_int = t_int & internal & ~src_ok
+        if cc_on:
+            bigger_src = ssize2[S] > tsize2[T]
+            open_src_int = rest_int & bigger_src
+            split_t = split_t | (rest_int & ~bigger_src)
+        else:
+            open_src_int = np.zeros_like(rest_int)
+            split_t = split_t | rest_int
+
+        nxt_T: list[np.ndarray] = []
+        nxt_S: list[np.ndarray] = []
+        if split_t.any():
+            Tt = T[split_t]
+            nxt_T.append(np.concatenate([2 * Tt + 1, 2 * Tt + 2]))
+            nxt_S.append(np.concatenate([S[split_t], S[split_t]]))
+        open_src = open_src_leaf | open_src_int
+        if open_src.any():
+            base = first_child[S[open_src]]
+            nxt_S.append(
+                (base[:, None] + np.arange(branch, dtype=INDEX)).ravel())
+            nxt_T.append(np.repeat(T[open_src], branch))
+        if not nxt_T:
+            break
+        T = np.concatenate(nxt_T).astype(INDEX)
+        S = np.concatenate(nxt_S).astype(INDEX)
+
+    # --- near lists in the grouped engine's CSR + DFS order ----------
+    stride = INDEX(view.dfs_rank.shape[0])
+    if rows_g:
+        g_all = np.concatenate(rows_g)
+        nd_all = np.concatenate(rows_nd)
+        order = np.argsort(g_all * stride + view.dfs_rank[nd_all])
+        nodes = nd_all[order]
+        approx = np.concatenate(rows_ap)[order]
+        counts = np.bincount(g_all, minlength=ng)
+    else:
+        nodes = empty_idx
+        approx = np.empty(0, dtype=bool)
+        counts = np.zeros(ng, dtype=np.int64)
+    offsets = np.zeros(ng + 1, dtype=INDEX)
+    np.cumsum(counts, out=offsets[1:])
+    if ex_g:
+        eg = np.concatenate(ex_g)
+        en = np.concatenate(ex_nd)
+        order = np.argsort(eg * stride + view.dfs_rank[en])
+        exact_groups, exact_nodes = eg[order], en[order]
+    else:
+        exact_groups = exact_nodes = empty_idx
+    near = InteractionLists(offsets, nodes, approx, exact_groups,
+                            exact_nodes, steps, theta, mac_margin)
+
+    # Deterministic far order (target, then source DFS rank): the M2L
+    # scatter accumulates in this order, keeping the force bitwise
+    # reproducible run to run.
+    if far_t:
+        ft = np.concatenate(far_t)
+        fs = np.concatenate(far_s)
+        order = np.argsort(ft.astype(np.int64) * int(stride)
+                           + view.dfs_rank[fs], kind="stable")
+        ft, fs = ft[order], fs[order]
+    else:
+        ft = fs = empty_idx
+    return DualLists(near, ft, fs, tt, theta, cc_mac, mac_margin, mac_evals)
+
+
+def evaluate_dual(
+    view: TreeView,
+    dual: DualLists,
+    groups: BodyGroups,
+    x_sorted: np.ndarray,
+    *,
+    G: float = 1.0,
+    eps2: float = 0.0,
+    body_ids: np.ndarray | None = None,
+    mode: str = "auto",
+    expansion_order: int = 1,
+    ctx=None,
+) -> tuple[np.ndarray, dict]:
+    """Near tiles + far M2L -> L2L downsweep -> L2P, at current positions.
+
+    The near side reuses :func:`evaluate_interaction_lists` unchanged.
+    When no far pair was accepted (``cc_mac = 0``) the expansion stage
+    is skipped entirely — not even zeros are added — so the result is
+    bit-identical to the grouped evaluation of the same lists.
+    """
+    acc, stats = evaluate_interaction_lists(
+        view, dual.near, groups, x_sorted,
+        G=G, eps2=eps2, body_ids=body_ids, mode=mode,
+    )
+    stats = dict(stats)
+    stats.update(m2l_terms=0, l2l_shifts=0, quad_far=0)
+    if dual.n_far == 0:
+        return acc, stats
+    tt = dual.tt
+    dim = x_sorted.shape[1]
+    exp = LocalExpansion.zeros(tt.layout.n_nodes, dim, expansion_order)
+    stats["quad_far"] = m2l_accumulate(
+        exp, dual.far_t, dual.far_s, view.com, view.mass, tt.center,
+        G=G, eps2=eps2, quad=view.quad,
+    )
+    stats["m2l_terms"] = dual.n_far
+    stats["l2l_shifts"] = l2l_sweep(exp, tt.layout, tt.center, ctx)
+    g_of_row = np.repeat(np.arange(groups.n_groups, dtype=INDEX),
+                         np.diff(groups.offsets))
+    acc += l2p_evaluate(exp, tt.leaf_of(g_of_row), x_sorted, tt.center)
+    return acc, stats
+
+
+def account_dual_force(
+    counters: Counters,
+    dual: DualLists,
+    groups: BodyGroups,
+    *,
+    n_bodies: int,
+    dim: int,
+    simt_width: int,
+    pairs: int,
+    quad_terms: int = 0,
+    quad_far: int = 0,
+    expansion_order: int = 1,
+    visit_bytes: float = 50.0,
+    built: bool = True,
+    flops_per_visit: float = 8.0,
+    sort_comparisons: float = 0.0,
+    launches: float | None = None,
+) -> None:
+    """Charge one dual force evaluation.
+
+    The near side is exactly a grouped evaluation of ``dual.near``
+    (whose ``steps`` are zero — the walk is charged here instead, once
+    per build, as pair-MAC visits).  The far side pays M2L per pair,
+    the L2L shift per target node and L2P per body every step; the
+    expansion arrays make one irregular round trip per stage.
+    """
+    account_grouped_force(
+        counters, dual.near, groups,
+        n_bodies=n_bodies, dim=dim, simt_width=simt_width,
+        pairs=pairs, quad_terms=quad_terms, visit_bytes=visit_bytes,
+        built=built, flops_per_visit=flops_per_visit,
+        sort_comparisons=sort_comparisons, launches=launches,
+    )
+    walk = float(dual.mac_evals) if built else 0.0
+    nf = float(dual.n_far)
+    n_nodes = float(dual.tt.layout.n_nodes)
+    exp_bytes = expansion_words(dim, expansion_order) * 8.0
+    node_bytes = (dim + 1) * 8.0
+    counters.add(
+        mac_evals=walk,
+        pairs_accepted_cc=nf,
+        flops=(walk * flops_per_visit
+               + nf * m2l_flops(dim, expansion_order)
+               + quad_far * QUAD_EXTRA_FLOPS
+               + (n_nodes + n_bodies) * l2_flops(expansion_order)),
+        bytes_irregular=(walk * visit_bytes
+                         + nf * (node_bytes + exp_bytes)
+                         + quad_far * QUAD_EXTRA_BYTES),
+        bytes_read=(walk * visit_bytes
+                    + nf * (node_bytes + exp_bytes)
+                    + quad_far * QUAD_EXTRA_BYTES
+                    + 3.0 * n_nodes * exp_bytes      # L2L read+shift
+                    + n_bodies * (dim * 8.0 + exp_bytes)),
+        bytes_written=(nf * exp_bytes + n_nodes * exp_bytes
+                       + n_bodies * dim * 8.0),
+        traversal_steps=walk,
+        warp_traversal_steps=walk,
+        kernel_launches=(2.0 if nf else 0.0) + (1.0 if built else 0.0),
+    )
+
+
+def target_node_drift(tt: TargetTree, grp_drift: np.ndarray) -> np.ndarray:
+    """Max group drift below each target-tree node (bottom-up sweep)."""
+    layout = tt.layout
+    nd = np.zeros(layout.n_nodes, dtype=FLOAT)
+    fl = layout.first_leaf
+    nd[fl:fl + grp_drift.shape[0]] = grp_drift
+    for level in range(layout.n_levels - 2, -1, -1):
+        sl = layout.level_slice(level)
+        cl = layout.level_slice(level + 1)
+        k = sl.stop - sl.start
+        nd[sl] = nd[cl].reshape(k, 2).max(axis=1)
+    return nd
+
+
+def dual_lists_valid(
+    dual: DualLists,
+    grp_drift: np.ndarray,
+    node_drift: np.ndarray,
+    *,
+    size_factor: float,
+) -> bool:
+    """Drift-bounded gate for cached dual lists (refit composability).
+
+    The near lists use the grouped gate verbatim.  A far pair stays
+    valid while the margin absorbs (a) the source's centre-of-mass
+    motion and size growth (``size_factor``, as for grouped lists) and
+    (b) the target side: bodies drifting under the cached target box
+    both shrink ``dmin`` and effectively grow the box by twice the
+    drift, which costs ``2 / (theta * cc_mac)`` against the cell-cell
+    threshold.
+    """
+    if not lists_valid(dual.near, grp_drift, node_drift,
+                       size_factor=size_factor):
+        return False
+    if dual.n_far == 0:
+        return True
+    margin = float(dual.mac_margin)
+    tdrift = target_node_drift(dual.tt, grp_drift)
+    tc = dual.theta * dual.cc_mac
+    t_factor = 1.0 + (2.0 / tc if tc > 0.0 else np.inf)
+    slack = (tdrift[dual.far_t] * t_factor
+             + node_drift[dual.far_s] * (1.0 + size_factor))
+    return bool(np.all(slack <= margin))

@@ -67,6 +67,38 @@ KLASS_EXACT = 2
 KLASS_SKIP = 3
 
 
+def mac_threshold2(
+    dmin2: np.ndarray, theta2: float, mac_margin: float
+) -> np.ndarray:
+    """Squared acceptance threshold of the (drift-bounded) MAC.
+
+    A node is accepted when ``size^2 < mac_threshold2(...)``, i.e.
+    ``size^2 < theta^2 * max(dmin - margin, 0)^2``.  The margin branch
+    is the only place the hot loop needs a square root; at
+    ``mac_margin == 0`` the threshold is just ``theta^2 * dmin2`` and
+    the sqrt is skipped entirely.  Shared by the grouped list build,
+    the LET selection and the dual-tree walk so every MAC in the
+    codebase evaluates the same floating-point expression.
+    """
+    if mac_margin <= 0.0:
+        return theta2 * dmin2
+    dmin_eff = np.maximum(np.sqrt(dmin2) - mac_margin, 0.0)
+    return theta2 * dmin_eff * dmin_eff
+
+
+def aabb_dmin2(
+    lo: np.ndarray, hi: np.ndarray, c: np.ndarray
+) -> np.ndarray:
+    """Squared distance from points *c* to their axis-aligned boxes.
+
+    For degenerate boxes (``lo == hi``) this is ``|c - lo|^2`` exactly,
+    so the conservative group MAC coincides bit for bit with the
+    per-body criterion at ``group_size=1``.
+    """
+    d = np.maximum(lo - c, 0.0) + np.maximum(c - hi, 0.0)
+    return np.einsum("ij,ij->i", d, d)
+
+
 @dataclass(frozen=True)
 class TreeView:
     """The per-node arrays the engine needs, independent of tree type."""
@@ -185,17 +217,9 @@ def build_interaction_lists(
         steps += np.bincount(g, minlength=ng)
         kl = klass[nd]
         internal = kl == KLASS_INTERNAL
-        # Distance from the node's com to the nearest point of the
-        # group AABB; for degenerate boxes this is |com - x| exactly,
-        # so the criterion coincides with the per-body MAC.
-        c = com[nd]
-        d = np.maximum(glo[g] - c, 0.0) + np.maximum(c - ghi[g], 0.0)
-        dmin2 = np.einsum("ij,ij->i", d, d)
-        if mac_margin > 0.0:
-            dmin_eff = np.maximum(np.sqrt(dmin2) - mac_margin, 0.0)
-            accept = internal & (size2[nd] < theta2 * dmin_eff * dmin_eff)
-        else:
-            accept = internal & (size2[nd] < theta2 * dmin2)
+        dmin2 = aabb_dmin2(glo[g], ghi[g], com[nd])
+        accept = internal & (size2[nd] < mac_threshold2(dmin2, theta2,
+                                                        mac_margin))
         emit = accept | (kl == KLASS_POINT)
         if emit.any():
             rows_g.append(g[emit])
@@ -407,6 +431,11 @@ def account_grouped_force(
         interaction_list_size=entries,
         list_build_steps=build_steps,
         list_eval_interactions=float(pairs),
+        # Every build-walk visit tests the MAC once; the emitted entries
+        # are body-level work deferred to the tile evaluation, re-paid
+        # every step the lists are reused.
+        mac_evals=build_steps,
+        pairs_deferred=entries,
         loop_iterations=float(groups.n_groups + n_bodies),
         kernel_launches=(2.0 if built else 1.0) if launches is None else launches,
         sort_comparisons=sort_comparisons,
