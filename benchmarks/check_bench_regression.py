@@ -31,6 +31,9 @@ DEFAULT_RTOL = 0.25
 #: Absolute floor below which two metrics are considered equal (guards
 #: ratios of near-zero error/drop counters).
 ATOL = 1e-12
+#: Bench payload schemas this checker understands (v2 adds an optional
+#: per-record ``metrics`` block, which is not part of the comparison).
+ACCEPTED_SCHEMAS = ("repro-bench-v1", "repro-bench-v2")
 
 
 def _key(rec: dict) -> tuple:
@@ -58,6 +61,13 @@ def check_file(fresh_path: pathlib.Path, base_path: pathlib.Path,
     problems: list[str] = []
     base = json.loads(base_path.read_text())
     fresh = json.loads(fresh_path.read_text())
+    for label, payload in (("baseline", base), ("fresh", fresh)):
+        schema = payload.get("schema")
+        if schema not in ACCEPTED_SCHEMAS:
+            problems.append(f"{base_path.name}: unsupported {label} schema "
+                            f"{schema!r} (accepted: {ACCEPTED_SCHEMAS})")
+    if problems:
+        return problems
     fresh_by_key: dict[tuple, dict] = {}
     for rec in fresh.get("records", []):
         fresh_by_key[_key(rec)] = rec

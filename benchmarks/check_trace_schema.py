@@ -1,0 +1,129 @@
+"""Validate a ``--trace-out`` Chrome trace file against repro-trace-v1.
+
+Checks that the payload is a Perfetto-loadable trace-event JSON object
+carrying the ``repro-trace-v1`` schema tag, that every event is one of
+the emitted phases (``M`` metadata, ``X`` complete span, ``i`` instant)
+with the keys and types those phases require, that every referenced
+lane (``tid``) has a ``thread_name`` metadata event, and — with
+``--require-ranks K`` — that the per-rank lanes ``rank 0 .. rank K-1``
+are present and carry spans (the distributed runtime's timelines).
+
+Usage::
+
+    python benchmarks/check_trace_schema.py TRACE.json [--require-ranks K]
+
+Exit status 1 on any problem; 0 otherwise.  CI runs this on the trace
+the distributed smoke run records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCHEMA = "repro-trace-v1"
+
+#: Required (key, type) pairs per event phase.
+_REQUIRED = {
+    "M": (("pid", int), ("tid", int), ("name", str), ("args", dict)),
+    "X": (("pid", int), ("tid", int), ("name", str), ("cat", str),
+          ("ts", (int, float)), ("dur", (int, float)), ("args", dict)),
+    "i": (("pid", int), ("tid", int), ("name", str), ("ts", (int, float)),
+          ("s", str), ("args", dict)),
+}
+
+
+def check_trace(payload: dict) -> list[str]:
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    schema = (payload.get("otherData") or {}).get("schema")
+    if schema != SCHEMA:
+        problems.append(f"otherData.schema is {schema!r}, expected {SCHEMA!r}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return problems + ["traceEvents missing or empty"]
+
+    lane_names: dict[int, str] = {}
+    used_lanes: set[int] = set()
+    span_lanes: set[int] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        req = _REQUIRED.get(ph)
+        if req is None:
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        for key, typ in req:
+            if key not in ev:
+                problems.append(f"event {i} (ph={ph}): missing key {key!r}")
+            elif not isinstance(ev[key], typ) or isinstance(ev[key], bool):
+                problems.append(f"event {i} (ph={ph}): {key!r} has type "
+                                f"{type(ev[key]).__name__}")
+        tid = ev.get("tid")
+        if not isinstance(tid, int):
+            continue
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                lane_names[tid] = ev.get("args", {}).get("name", "")
+        else:
+            used_lanes.add(tid)
+            if ph == "X":
+                span_lanes.add(tid)
+                if ev.get("dur", 0) < 0:
+                    problems.append(f"event {i}: negative duration")
+    for tid in sorted(used_lanes - set(lane_names)):
+        problems.append(f"lane {tid} has events but no thread_name metadata")
+    return problems
+
+
+def check_ranks(payload: dict, n_ranks: int) -> list[str]:
+    problems: list[str] = []
+    events = payload.get("traceEvents") or []
+    names = {ev.get("args", {}).get("name"): ev.get("tid")
+             for ev in events
+             if isinstance(ev, dict) and ev.get("ph") == "M"
+             and ev.get("name") == "thread_name"}
+    span_lanes = {ev.get("tid") for ev in events
+                  if isinstance(ev, dict) and ev.get("ph") == "X"}
+    for r in range(n_ranks):
+        lane = names.get(f"rank {r}")
+        if lane is None:
+            problems.append(f"no lane named 'rank {r}'")
+        elif lane not in span_lanes:
+            problems.append(f"lane 'rank {r}' (tid {lane}) has no spans")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=pathlib.Path)
+    ap.add_argument("--require-ranks", type=int, default=0,
+                    dest="require_ranks", metavar="K",
+                    help="additionally require populated lanes rank 0..K-1")
+    args = ap.parse_args(argv)
+
+    try:
+        payload = json.loads(args.trace.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"TRACE CHECK FAILED: cannot load {args.trace}: {exc}")
+        return 1
+    problems = check_trace(payload)
+    if args.require_ranks > 0:
+        problems += check_ranks(payload, args.require_ranks)
+    if problems:
+        print(f"TRACE CHECK FAILED ({len(problems)} problem(s)):")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    n_events = len(payload.get("traceEvents", []))
+    print(f"trace schema OK: {args.trace} ({n_events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,19 @@ A file holds a list of *records*; each record is one measured
 configuration::
 
     {"workload": "galaxy", "n": 10000, "config": {...},
-     "host_seconds": 0.42, "model_seconds": 1.3e-3, "extra": {...}}
+     "host_seconds": 0.42, "model_seconds": 1.3e-3, "extra": {...},
+     "metrics": {...}}
 
 ``host_seconds`` is wall clock of this Python reproduction on the host;
 ``model_seconds`` is the cost-model projection (device time), ``None``
 when the bench does not project.  Anything bench-specific (speedups,
 efficiencies, per-rank splits) goes under ``extra``.
+
+Schema ``repro-bench-v2`` adds the optional per-record ``metrics``
+block — the compact :meth:`repro.obs.MetricsRegistry.metrics_block`
+serialization (final counter/gauge values, histogram summaries, alert
+count).  Readers accept both versions; v1 files simply have no
+``metrics`` key.
 """
 
 from __future__ import annotations
@@ -25,7 +32,11 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 #: Bump on incompatible record-layout changes.
-SCHEMA = "repro-bench-v1"
+SCHEMA = "repro-bench-v2"
+
+#: Schemas read_bench_json accepts (v2 only adds the optional
+#: per-record ``metrics`` block, so v1 files stay readable).
+ACCEPTED_SCHEMAS = ("repro-bench-v1", "repro-bench-v2")
 
 
 @dataclass
@@ -38,6 +49,8 @@ class BenchRecord:
     host_seconds: float
     model_seconds: float | None = None
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Optional ``MetricsRegistry.metrics_block()`` snapshot (v2).
+    metrics: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         d = asdict(self)
@@ -45,6 +58,8 @@ class BenchRecord:
         d["host_seconds"] = float(d["host_seconds"])
         if d["model_seconds"] is not None:
             d["model_seconds"] = float(d["model_seconds"])
+        if d["metrics"] is None:
+            del d["metrics"]
         return d
 
 
@@ -86,6 +101,6 @@ def write_bench_json(
 def read_bench_json(path: str | pathlib.Path) -> dict[str, Any]:
     """Load and validate a ``BENCH_*.json`` file."""
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("schema") != SCHEMA:
+    if payload.get("schema") not in ACCEPTED_SCHEMAS:
         raise ValueError(f"unsupported bench schema {payload.get('schema')!r}")
     return payload

@@ -61,8 +61,18 @@ def _cmd_run(args) -> int:
                            inter_interconnect=args.inter_interconnect,
                            tree_update=args.tree_update,
                            drift_budget=args.drift_budget)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    metrics = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, default_watchdogs
+
+        metrics = MetricsRegistry(watchdogs=default_watchdogs())
     e0 = energy_report(system, gravity) if system.n <= 20_000 else None
-    sim = Simulation(system, cfg)
+    sim = Simulation(system, cfg, tracer=tracer, metrics=metrics)
     rep = sim.run(args.steps)
     print(f"algorithm={args.algorithm} n={system.n} steps={args.steps} "
           f"wall={rep.wall_seconds:.3f}s "
@@ -83,50 +93,37 @@ def _cmd_run(args) -> int:
             print(f"  rank {r}: bodies={int(drep.counts[r])} "
                   f"compute={compute[r]:.3e}s comm={comm[r]:.3e}s")
     if args.profile:
-        _print_profile(sim, rep, args.steps)
+        from repro.obs.report import render_profile
+
+        print(render_profile(sim, rep, args.steps))
     if e0 is not None:
         e1 = energy_report(system, gravity)
-        print(f"energy drift: {e1.drift_from(e0):.3e}  "
+        drift = e1.drift_from(e0)
+        if metrics is not None:
+            metrics.observe_conservation(args.steps, energy_drift=drift,
+                                         sim=sim)
+        print(f"energy drift: {drift:.3e}  "
               f"(E0={e0.total:.6g}, E1={e1.total:.6g})")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if str(args.trace_out).endswith(".jsonl"):
+            write_jsonl(tracer, args.trace_out)
+        else:
+            write_chrome_trace(tracer, args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer.spans)} spans, "
+              f"{len(tracer.instants)} instants)")
+    if metrics is not None:
+        import json
+        import pathlib
+
+        out = pathlib.Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(metrics.as_dict(), indent=1,
+                                  sort_keys=True) + "\n")
+        print(f"metrics: {args.metrics_out} ({len(metrics.samples)} samples, "
+              f"{len(metrics.alerts)} alerts)")
     return 0
-
-
-def _print_profile(sim, rep, n_steps: int) -> None:
-    """``--profile``: per-phase modeled time + counter totals per step."""
-    from repro.core.simulation import STEP_ORDER
-    from repro.machine.costmodel import CostModel
-
-    model = CostModel(sim.ctx.device, toolchain=sim.ctx.toolchain)
-    times = model.step_times(rep.counters)
-    steps = max(n_steps, 1)
-    print(f"--- profile: modeled on {sim.ctx.device.name}, "
-          f"per step over {n_steps} ---")
-    print(f"  {'phase':16s} {'model s/step':>12s} {'flops':>10s} "
-          f"{'bytes':>10s} {'comm B':>10s} {'launches':>8s} "
-          f"{'MACs':>10s} {'near prs':>10s} {'cc prs':>10s}")
-    total = 0.0
-    for phase in STEP_ORDER:
-        c = rep.counters.steps.get(phase)
-        if c is None:
-            continue
-        t = times.get(phase, 0.0) / steps
-        total += t
-        nbytes = (c.bytes_read + c.bytes_written + c.bytes_irregular) / steps
-        print(f"  {phase:16s} {t:12.3e} {c.flops / steps:10.3g} "
-              f"{nbytes:10.3g} {c.comm_bytes / steps:10.3g} "
-              f"{c.kernel_launches / steps:8.3g} "
-              f"{c.mac_evals / steps:10.3g} "
-              f"{c.pairs_deferred / steps:10.3g} "
-              f"{c.pairs_accepted_cc / steps:10.3g}")
-    print(f"  {'total':16s} {total:12.3e}")
-    counts = None
-    if sim.distributed is not None:
-        counts = sim.distributed.maint_counts
-    elif "_maintainer" in sim._tree_cache:
-        counts = sim._tree_cache["_maintainer"].counts
-    if counts is not None:
-        split = "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
-        print(f"  tree maintenance: {split}")
 
 
 def _cmd_devices(_args) -> int:
@@ -253,6 +250,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--profile", action="store_true",
                    help="print a per-phase table of modeled time and "
                         "counter totals per step")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   metavar="PATH",
+                   help="record a structured trace and write it here: "
+                        "Chrome trace-event JSON (Perfetto-loadable), or "
+                        "a JSONL event stream when PATH ends in .jsonl")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   metavar="PATH",
+                   help="sample per-step metrics (with watchdogs) and "
+                        "write the registry JSON here")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("devices", help="list the device catalog")

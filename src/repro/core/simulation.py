@@ -65,10 +65,21 @@ class Simulation:
         config: SimulationConfig | None = None,
         *,
         ctx: ExecutionContext | None = None,
+        tracer=None,
+        metrics=None,
     ):
         self.system = system
         self.config = config if config is not None else SimulationConfig()
         self.ctx = ctx if ctx is not None else ExecutionContext()
+        if tracer is not None:
+            #: Structured span tracing (:mod:`repro.obs`); attaching it
+            #: here covers the whole pipeline, including the force
+            #: evaluation the integrator performs at construction
+            #: (``run`` re-anchors the trace to its own window).
+            self.ctx.tracer = tracer
+        #: Optional :class:`repro.obs.MetricsRegistry`, sampled once per
+        #: timestep (and fed by the TrajectoryRecorder when present).
+        self.metrics = metrics
         self.algorithm: ForceAlgorithm = get_algorithm(self.config.algorithm)
         self.last_report: StepReport | None = None
         #: Per-simulation tree-structure cache (config.tree_reuse_steps).
@@ -110,8 +121,27 @@ class Simulation:
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
         self.ctx.reset_accounting()
-        self._integrator.step(n_steps)
+        tracer = self.ctx.tracer
+        if tracer.enabled or self.metrics is not None:
+            # Observed path: same integration, one step at a time, so
+            # every timestep gets its own trace group and metrics
+            # sample.  Physics is identical — the integrator's n-step
+            # loop is literally re-entered once per step.
+            if self.metrics is not None:
+                self.metrics.begin_run(self)
+            for k in range(n_steps):
+                if tracer.enabled:
+                    with tracer.group("step", args={"step": k}):
+                        self._integrator.step(1)
+                else:
+                    self._integrator.step(1)
+                if self.metrics is not None:
+                    self.metrics.sample_step(self, k)
+        else:
+            self._integrator.step(n_steps)
         self._charge_update_position(n_steps)
+        if self.metrics is not None:
+            self.metrics.end_run(self)
         self.last_report = StepReport(
             n_steps=n_steps,
             counters=self.ctx.step_counters,

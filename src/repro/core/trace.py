@@ -15,13 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.simulation import Simulation
-from repro.physics.diagnostics import (
-    angular_momentum,
-    center_of_mass,
-    kinetic_energy,
-    momentum,
-)
-from repro.physics.gravity import potential_energy
+from repro.obs.metrics import conservation_sample
 
 
 @dataclass
@@ -88,31 +82,47 @@ class TrajectoryRecorder:
         *,
         sample_every: int = 1,
         compute_potential: bool = True,
+        metrics=None,
     ):
         if sample_every < 1:
             raise ValueError("sample_every must be >= 1")
         self.sim = sim
         self.sample_every = sample_every
         self.compute_potential = compute_potential
+        #: Metrics registry the drifts are routed to — the simulation's
+        #: own by default, so the recorder and ``--metrics-out`` share
+        #: one sampling path (repro.obs.metrics.conservation_sample).
+        self.metrics = metrics if metrics is not None else getattr(
+            sim, "metrics", None)
         self.trace = Trace()
         self._sample(step=0)
 
     def _sample(self, step: int) -> None:
-        system = self.sim.system
-        pot = (
-            potential_energy(system.x, system.m, self.sim.config.gravity)
-            if self.compute_potential
-            else None
+        diag = conservation_sample(
+            self.sim.system, self.sim.config.gravity,
+            compute_potential=self.compute_potential,
         )
         self.trace.samples.append(TraceSample(
             time=self.sim.time,
             step=step,
-            kinetic=kinetic_energy(system),
-            potential=pot,
-            momentum=momentum(system),
-            angular_momentum=angular_momentum(system),
-            center_of_mass=center_of_mass(system),
+            kinetic=diag["kinetic"],
+            potential=diag["potential"],
+            momentum=diag["momentum"],
+            angular_momentum=diag["angular_momentum"],
+            center_of_mass=diag["center_of_mass"],
         ))
+        if self.metrics is not None and step > 0:
+            e = self.trace.energies
+            drift = None
+            if not (np.isnan(e[0]) or e[0] == 0.0):
+                drift = float(abs(e[-1] - e[0]) / abs(e[0]))
+            p = self.trace.samples
+            momentum_drift = float(
+                np.abs(p[-1].momentum - p[0].momentum).max())
+            self.metrics.observe_conservation(
+                step, energy_drift=drift, momentum_drift=momentum_drift,
+                sim=self.sim,
+            )
 
     def run(self, n_steps: int) -> Trace:
         """Advance ``n_steps``, sampling every ``sample_every`` steps."""

@@ -155,12 +155,22 @@ class DistributedRuntime:
         for rc in self.rank_ctx:
             rc.reset_accounting()
         self.fabric.reset()
+        tracer = self.ctx.tracer
+        # Driver clock when this evaluation starts: the per-rank lanes
+        # emitted at the end are anchored here so they line up with the
+        # driver's partition/exchange/force spans in the trace viewer.
+        t_eval = tracer.now(0) if tracer.enabled else 0.0
 
         with self.ctx.step("partition"):
             decomp, rebalanced, migrated, keys = self._partition(x, dim)
 
         maintained = cfg.tree_update != "rebuild"
         refit = maintained and self._refit_valid(x, keys, rebalanced, migrated)
+        if maintained and tracer.enabled:
+            tracer.instant("tree_maintenance", args={
+                "action": "refit" if refit else "rebuild",
+                "rebalanced": bool(rebalanced), "migrated": int(migrated),
+            })
         if refit:
             # Keep the epoch membership: fresh re-binning may permute
             # rows *within* a rank even with zero migration, which would
@@ -270,10 +280,21 @@ class DistributedRuntime:
                     acc[members[d]] = acc_d
 
         # Roll per-rank counters into the session's machine counters.
+        # The merge happens outside any session span window, so the
+        # traced per-rank lanes below are the *only* span attribution of
+        # this work — summing spans over all lanes stays exact.
         merged = StepCounters()
         for rc in self.rank_ctx:
             merged = merged.merge(rc.step_counters)
         self.ctx.step_counters = self.ctx.step_counters.merge(merged)
+        if tracer.enabled:
+            from repro.core.simulation import STEP_ORDER
+
+            for r, rc in enumerate(self.rank_ctx):
+                tracer.emit_phases(
+                    r + 1, rc.step_counters, rc, at=t_eval,
+                    order=STEP_ORDER, lane_name=f"rank {r}",
+                )
 
         report = DistributedReport(
             n_ranks=K,

@@ -117,6 +117,7 @@ class TreeMaintainer:
         )
         self.last_decision = decision
         self._last_action = decision.action
+        self._emit_decision(decision)
         if decision.action == "rebuild":
             box = algo._bounding_box(system, ctx)
             with ctx.step("encode"):
@@ -157,6 +158,7 @@ class TreeMaintainer:
         )
         self.last_decision = decision
         self._last_action = decision.action
+        self._emit_decision(decision)
         if decision.action == "rebuild":
             box = algo._bounding_box(system, ctx)
             with ctx.step("build_tree"):
@@ -185,6 +187,18 @@ class TreeMaintainer:
             self.counts["refit"] += 1
         self._update_margin()
         return self._pool
+
+    # ------------------------------------------------------------------
+    def _emit_decision(self, decision: Decision) -> None:
+        """Trace the refit-vs-rebuild decision as an instant event."""
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            tracer.instant("maintenance_decision", args={
+                "action": decision.action,
+                "disorder": float(decision.disorder),
+                "drift": float(decision.drift),
+                "threshold": float(decision.threshold),
+            })
 
     # ------------------------------------------------------------------
     def finish_step(self, x: np.ndarray) -> None:

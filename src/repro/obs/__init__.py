@@ -1,0 +1,73 @@
+"""repro.obs — structured tracing, metrics, and watchdogs.
+
+The observability subsystem the ROADMAP's production north-star needs:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracer on a deterministic
+  modeled clock (per-phase spans, per-rank lanes, stdpar launch
+  instants); disabled by default at negligible cost.
+* :mod:`repro.obs.export` — byte-deterministic Chrome trace-event JSON
+  (Perfetto-loadable) and JSONL event streams.
+* :mod:`repro.obs.metrics` — counters / gauges / histograms sampled per
+  step (MAC acceptance, cache hit rate, refit split, imbalance, comm),
+  shared with the conservation-diagnostics path.
+* :mod:`repro.obs.watchdog` — NaN / energy-drift / imbalance hooks that
+  turn bad samples into structured warnings.
+* :mod:`repro.obs.report` — the ``--profile`` table, rendered from span
+  data.
+
+Wire-up: ``Simulation(system, cfg, tracer=Tracer(), metrics=
+MetricsRegistry(watchdogs=default_watchdogs()))``; CLI ``run
+--trace-out trace.json --metrics-out metrics.json``.
+"""
+
+from repro.obs.export import chrome_trace, write_chrome_trace, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    conservation_sample,
+)
+from repro.obs.report import format_profile, profile_rows, render_profile
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    InstantRecord,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+from repro.obs.watchdog import (
+    Alert,
+    EnergyDriftWatchdog,
+    ImbalanceWatchdog,
+    NaNWatchdog,
+    Watchdog,
+    default_watchdogs,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SpanRecord",
+    "InstantRecord",
+    "TRACE_SCHEMA",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "conservation_sample",
+    "Watchdog",
+    "Alert",
+    "NaNWatchdog",
+    "EnergyDriftWatchdog",
+    "ImbalanceWatchdog",
+    "default_watchdogs",
+    "profile_rows",
+    "format_profile",
+    "render_profile",
+]

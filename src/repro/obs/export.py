@@ -1,0 +1,120 @@
+"""Trace serialization: Chrome trace-event JSON and a JSONL stream.
+
+Both exports are **deterministic by construction**: events carry only
+modeled-clock timestamps and counter-derived payloads, serialized with
+sorted keys and fixed separators, so two identical seeded runs write
+byte-identical files.  Host wall times are non-deterministic and are
+only included when explicitly requested (``include_host=True``).
+
+The Chrome format (``{"traceEvents": [...]}``) loads directly in
+Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``: one track
+per lane (the driver plus one per simulated rank), complete ``X``
+events for spans, ``i`` instants for stdpar launches and maintenance
+decisions.  ``benchmarks/check_trace_schema.py`` validates the schema
+in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.tracer import TRACE_SCHEMA, Tracer
+
+#: Single synthetic process id of the simulated machine.
+_PID = 1
+
+
+def _json_bytes(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _us(seconds: float) -> float:
+    """Modeled seconds → trace microseconds, ns-rounded (deterministic)."""
+    return round(seconds * 1e6, 3)
+
+
+def _lane_metadata(tracer: Tracer) -> list[dict[str, Any]]:
+    lanes = {rec.lane for rec in tracer.spans}
+    lanes |= {rec.lane for rec in tracer.instants}
+    lanes |= set(tracer.lane_names)
+    events: list[dict[str, Any]] = [{
+        "ph": "M", "pid": _PID, "tid": 0, "name": "process_name",
+        "args": {"name": "repro-nbody"},
+    }]
+    for lane in sorted(lanes):
+        name = tracer.lane_names.get(
+            lane, "driver" if lane == 0 else f"rank {lane - 1}"
+        )
+        events.append({
+            "ph": "M", "pid": _PID, "tid": lane, "name": "thread_name",
+            "args": {"name": name},
+        })
+    return events
+
+
+def trace_events(tracer: Tracer, *, include_host: bool = False) -> list[dict[str, Any]]:
+    """All events (metadata + spans + instants) in deterministic order."""
+    events = _lane_metadata(tracer)
+    records: list[tuple[int, dict[str, Any]]] = []
+    for rec in tracer.spans:
+        args: dict[str, Any] = {"model_s": rec.model_seconds, **rec.delta}
+        args.update(rec.args)
+        if include_host:
+            args["host_s"] = rec.host_seconds
+        records.append((rec.seq, {
+            "ph": "X", "pid": _PID, "tid": rec.lane, "name": rec.name,
+            "cat": rec.cat, "ts": _us(rec.t0),
+            "dur": _us(rec.t1) - _us(rec.t0), "args": args,
+        }))
+    for rec in tracer.instants:
+        records.append((rec.seq, {
+            "ph": "i", "pid": _PID, "tid": rec.lane, "name": rec.name,
+            "cat": "event", "s": "t", "ts": _us(rec.t), "args": dict(rec.args),
+        }))
+    records.sort(key=lambda p: p[0])
+    events.extend(e for _, e in records)
+    return events
+
+
+def chrome_trace(tracer: Tracer, *, include_host: bool = False) -> dict[str, Any]:
+    """The Perfetto-loadable trace object."""
+    meta: dict[str, Any] = {"schema": TRACE_SCHEMA}
+    model = getattr(tracer, "_model", None)
+    if model is not None:
+        meta["model_device"] = model.device.key
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": meta,
+        "traceEvents": trace_events(tracer, include_host=include_host),
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str | pathlib.Path, *, include_host: bool = False,
+) -> pathlib.Path:
+    """Write the Chrome trace-event JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(_json_bytes(chrome_trace(tracer, include_host=include_host)) + "\n")
+    return path
+
+
+def write_jsonl(
+    tracer: Tracer, path: str | pathlib.Path, *, include_host: bool = False,
+) -> pathlib.Path:
+    """Write the event stream as JSONL (one event object per line).
+
+    The first line is a meta record (``{"type": "meta", ...}``); every
+    following line is one trace event tagged with its ``ph`` kind.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [_json_bytes({
+        "type": "meta", "schema": TRACE_SCHEMA,
+        "lanes": {str(k): v for k, v in sorted(tracer.lane_names.items())},
+    })]
+    lines += [_json_bytes(e) for e in trace_events(tracer, include_host=include_host)]
+    path.write_text("\n".join(lines) + "\n")
+    return path

@@ -1,0 +1,105 @@
+"""The ``--profile`` renderer, rebuilt over span/counter data.
+
+Lives here (not in the CLI) so benches and tests can render the same
+per-phase table.  When the simulation traced, rows come from the
+tracer's span aggregation (:meth:`~repro.obs.tracer.Tracer.phase_counters`
+— identical to the run's counters by the attribution contract);
+otherwise from ``rep.counters`` directly.  The totals row aggregates
+*every* column — modeled time, flops, bytes, comm, launches, MAC
+evaluations and pair classes — not just modeled time.
+"""
+
+from __future__ import annotations
+
+from repro.machine.counters import StepCounters
+from repro.machine.costmodel import CostModel
+
+#: Column order of the profile table (name, header, width).
+_COLUMNS = (
+    ("model_s", "model s/step", 12),
+    ("flops", "flops", 10),
+    ("bytes", "bytes", 10),
+    ("comm_bytes", "comm B", 10),
+    ("launches", "launches", 8),
+    ("mac_evals", "MACs", 10),
+    ("pairs_deferred", "near prs", 10),
+    ("pairs_accepted_cc", "cc prs", 10),
+)
+
+
+def profile_rows(
+    counters: StepCounters, model: CostModel, n_steps: int,
+    *, order: tuple[str, ...] = (),
+) -> list[dict[str, float | str]]:
+    """Per-phase per-step rows plus a fully aggregated ``total`` row."""
+    steps = max(n_steps, 1)
+    names = [n for n in order if n in counters.steps]
+    names += sorted(n for n in counters.steps if n not in order)
+    rows: list[dict[str, float | str]] = []
+    total = {name: 0.0 for name, _, _ in _COLUMNS}
+    for phase in names:
+        c = counters.steps[phase]
+        row: dict[str, float | str] = {
+            "phase": phase,
+            "model_s": model.step_time(c).total / steps,
+            "flops": c.flops / steps,
+            "bytes": (c.bytes_read + c.bytes_written + c.bytes_irregular) / steps,
+            "comm_bytes": c.comm_bytes / steps,
+            "launches": c.kernel_launches / steps,
+            "mac_evals": c.mac_evals / steps,
+            "pairs_deferred": c.pairs_deferred / steps,
+            "pairs_accepted_cc": c.pairs_accepted_cc / steps,
+        }
+        rows.append(row)
+        for name in total:
+            total[name] += float(row[name])
+    rows.append({"phase": "total", **total})
+    return rows
+
+
+def format_profile(rows: list[dict[str, float | str]], title: str) -> str:
+    """Render the rows as the ``--profile`` table."""
+    lines = [f"--- {title} ---"]
+    header = "  " + f"{'phase':16s}"
+    for _, label, width in _COLUMNS:
+        header += f" {label:>{width}s}"
+    lines.append(header)
+    for row in rows:
+        line = "  " + f"{row['phase']:16s}"
+        for name, _, width in _COLUMNS:
+            v = float(row[name])
+            line += (f" {v:{width}.3e}" if name == "model_s"
+                     else f" {v:{width}.3g}")
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_profile(sim, rep, n_steps: int) -> str:
+    """The ``--profile`` output for one finished run.
+
+    A thin renderer: phase counters come from the tracer's spans when
+    tracing was on (the attribution contract guarantees they match
+    ``rep.counters``), the table from :func:`profile_rows`, plus the
+    tree-maintenance event split when a maintainer ran.
+    """
+    from repro.core.simulation import STEP_ORDER
+
+    model = CostModel(sim.ctx.device, toolchain=sim.ctx.toolchain)
+    tracer = sim.ctx.tracer
+    counters = tracer.phase_counters() if tracer.enabled else rep.counters
+    rows = profile_rows(counters, model, n_steps, order=STEP_ORDER)
+    source = "spans" if tracer.enabled else "counters"
+    out = format_profile(
+        rows,
+        f"profile: modeled on {sim.ctx.device.name}, per step over "
+        f"{n_steps} ({source})",
+    )
+    counts = None
+    if sim.distributed is not None:
+        counts = sim.distributed.maint_counts
+    elif "_maintainer" in sim._tree_cache:
+        counts = sim._tree_cache["_maintainer"].counts
+    if counts is not None:
+        split = "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        out += f"\n  tree maintenance: {split}"
+    return out

@@ -1,0 +1,303 @@
+"""Hierarchical span tracer with a deterministic modeled clock.
+
+The tracer is the recording half of :mod:`repro.obs`.  It attaches to an
+:class:`~repro.stdpar.context.ExecutionContext` (``ctx.tracer``) and
+turns every ``ctx.step(name)`` window into a **phase span**: a record of
+the phase name, the exact :class:`~repro.machine.counters.Counters`
+delta the window attributed to that phase's bucket, the host wall time
+of the window, and the cost-model projected device time of the delta.
+
+Timestamps do **not** come from the host clock.  Each lane (the driver
+plus one lane per simulated rank) carries a *modeled clock*: when a
+phase span closes, its lane's clock advances by the cost model's
+projected seconds for the span's own counter delta.  Because counters
+are exact and the model is a pure function of them, two identical
+seeded runs produce identical span records — and byte-identical
+exported traces (:mod:`repro.obs.export`).  Host wall times are kept on
+the records but excluded from deterministic exports.
+
+Span kinds
+----------
+
+* **phase** — opened by ``ctx.step``; carries a counter delta and
+  advances the lane clock by its modeled duration on exit.  Nested
+  phases of *different* names attribute exclusively (the context's
+  current-step switch routes their counters to their own buckets), so
+  summing phase-span deltas reproduces the run's counters exactly
+  (:meth:`Tracer.phase_counters`).
+* **group** — purely structural (e.g. one ``step`` of the time loop);
+  spans the lane clock between enter and exit, carries no counters.
+* **instant** — a point event (a stdpar launch, a maintenance
+  decision), stamped at the lane's current clock.
+
+When tracing is disabled the shared :data:`NULL_TRACER` stands in; its
+``enabled`` flag short-circuits every call site to one attribute test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.machine.counters import Counters, StepCounters
+
+#: Lane id of the driving (single-rank / session) context.
+DRIVER_LANE = 0
+
+#: Trace payload schema identifier stamped into every export.
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+def _counters_from(delta: dict[str, float]) -> Counters:
+    c = Counters()
+    if delta:
+        c.add(**delta)
+    return c
+
+
+def _bucket_delta(b0: dict[str, float], b1: dict[str, float]) -> dict[str, float]:
+    """Non-zero per-field difference of two bucket snapshots.
+
+    ``traversal_steps_max`` is max-like: the window's value is the
+    bucket's running max, reported as-is when it changed.
+    """
+    out: dict[str, float] = {}
+    for k, v in b1.items():
+        prev = b0.get(k, 0.0)
+        if k == "traversal_steps_max":
+            if v != prev:
+                out[k] = v
+        elif v != prev:
+            out[k] = v - prev
+    return out
+
+
+@dataclass
+class SpanRecord:
+    """One closed span on one lane (all times in modeled seconds)."""
+
+    seq: int                 #: global creation order (deterministic)
+    name: str
+    cat: str                 #: "phase" | "group"
+    lane: int
+    t0: float                #: lane clock at enter
+    t1: float                #: lane clock at exit
+    model_seconds: float     #: projected device time of *delta*
+    host_seconds: float      #: host wall time (non-deterministic)
+    delta: dict[str, float]  #: non-zero counter fields attributed here
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class InstantRecord:
+    """A point event on one lane."""
+
+    seq: int
+    name: str
+    lane: int
+    t: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    Call sites guard on ``tracer.enabled`` so the disabled cost is one
+    attribute load; these methods exist only for direct callers.
+    """
+
+    enabled = False
+    spans: tuple = ()
+    instants: tuple = ()
+
+    def begin_phase(self, name, ctx):  # pragma: no cover - trivial
+        return None
+
+    def end_phase(self, frame, ctx, host_seconds=0.0):  # pragma: no cover
+        pass
+
+    def instant(self, name, *, lane=DRIVER_LANE, args=None):  # pragma: no cover
+        pass
+
+    @contextmanager
+    def group(self, name, *, lane=DRIVER_LANE, args=None) -> Iterator[None]:
+        yield
+
+    def reset(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+#: Shared disabled tracer (the default of every ExecutionContext).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans and instants on per-lane modeled timelines.
+
+    Attach with ``Simulation(..., tracer=Tracer())`` (or by assigning
+    ``ctx.tracer``); export with :mod:`repro.obs.export`.  The cost
+    model used for modeled durations is built lazily from the first
+    context seen (same device + toolchain), or can be injected.
+    """
+
+    enabled = True
+
+    def __init__(self, model=None):
+        self._model = model
+        self.spans: list[SpanRecord] = []
+        self.instants: list[InstantRecord] = []
+        self._clock: dict[int, float] = {}
+        self._seq = 0
+        self.lane_names: dict[int, str] = {DRIVER_LANE: "driver"}
+
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _model_for(self, ctx):
+        if self._model is None:
+            from repro.machine.costmodel import CostModel
+
+            self._model = CostModel(ctx.device, toolchain=ctx.toolchain)
+        return self._model
+
+    def now(self, lane: int = DRIVER_LANE) -> float:
+        """Current modeled clock of *lane*, seconds."""
+        return self._clock.get(lane, 0.0)
+
+    def ensure_lane(self, lane: int, name: str) -> None:
+        self.lane_names.setdefault(lane, name)
+
+    def reset(self) -> None:
+        """Drop all records and rewind every lane clock to zero.
+
+        Called by ``ExecutionContext.reset_accounting`` so an exported
+        trace covers exactly the counters of the reported run.
+        """
+        self.spans.clear()
+        self.instants.clear()
+        self._clock.clear()
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Phase spans (driven by ExecutionContext.step)
+    # ------------------------------------------------------------------
+    def begin_phase(self, name: str, ctx, *, lane: int = DRIVER_LANE) -> dict:
+        """Open a phase span over *ctx*'s bucket *name*; returns a frame."""
+        return {
+            "name": name,
+            "lane": lane,
+            "seq": self._next_seq(),
+            "t0": self.now(lane),
+            "b0": ctx.step_counters.step(name).as_dict(),
+        }
+
+    def end_phase(self, frame: dict, ctx, host_seconds: float = 0.0) -> SpanRecord:
+        name, lane = frame["name"], frame["lane"]
+        delta = _bucket_delta(frame["b0"], ctx.step_counters.step(name).as_dict())
+        model_s = (
+            self._model_for(ctx).step_time(_counters_from(delta)).total
+            if delta else 0.0
+        )
+        self._clock[lane] = self.now(lane) + model_s
+        rec = SpanRecord(
+            seq=frame["seq"], name=name, cat="phase", lane=lane,
+            t0=frame["t0"], t1=self._clock[lane],
+            model_seconds=model_s, host_seconds=host_seconds, delta=delta,
+        )
+        self.spans.append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # Group spans and instants
+    # ------------------------------------------------------------------
+    @contextmanager
+    def group(
+        self, name: str, *, lane: int = DRIVER_LANE,
+        args: dict[str, Any] | None = None,
+    ) -> Iterator[None]:
+        """Structural span: brackets the lane clock, carries no counters."""
+        seq = self._next_seq()
+        t0 = self.now(lane)
+        try:
+            yield
+        finally:
+            self.spans.append(SpanRecord(
+                seq=seq, name=name, cat="group", lane=lane,
+                t0=t0, t1=self.now(lane), model_seconds=0.0,
+                host_seconds=0.0, delta={}, args=dict(args or {}),
+            ))
+
+    def instant(
+        self, name: str, *, lane: int = DRIVER_LANE,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Point event at the lane's current modeled time."""
+        self.instants.append(InstantRecord(
+            seq=self._next_seq(), name=name, lane=lane,
+            t=self.now(lane), args=dict(args or {}),
+        ))
+
+    # ------------------------------------------------------------------
+    # Synthetic lanes (distributed per-rank timelines)
+    # ------------------------------------------------------------------
+    def emit_phases(
+        self,
+        lane: int,
+        step_counters: StepCounters,
+        ctx,
+        *,
+        at: float | None = None,
+        order: tuple[str, ...] = (),
+        lane_name: str | None = None,
+    ) -> None:
+        """Emit one closed phase span per counter bucket onto *lane*.
+
+        Used by the distributed runtime, which accounts each simulated
+        rank into its own :class:`StepCounters` and publishes the final
+        buckets as that rank's timeline for the evaluation, starting at
+        *at* (typically the driver clock when the evaluation began).
+        Buckets are laid out back to back in *order* (unknown names
+        follow, sorted) with modeled durations.
+        """
+        if lane_name is not None:
+            self.ensure_lane(lane, lane_name)
+        if at is not None:
+            self._clock[lane] = max(self.now(lane), at)
+        names = [n for n in order if n in step_counters.steps]
+        names += sorted(n for n in step_counters.steps if n not in order)
+        for name in names:
+            delta = _bucket_delta({}, step_counters.steps[name].as_dict())
+            if not delta:
+                continue
+            model_s = self._model_for(ctx).step_time(_counters_from(delta)).total
+            t0 = self.now(lane)
+            self._clock[lane] = t0 + model_s
+            self.spans.append(SpanRecord(
+                seq=self._next_seq(), name=name, cat="phase", lane=lane,
+                t0=t0, t1=self._clock[lane], model_seconds=model_s,
+                host_seconds=0.0, delta=delta,
+            ))
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def phase_counters(self) -> StepCounters:
+        """Per-phase counters re-assembled from the recorded spans.
+
+        Spans are summed lane-major in creation order, which telescopes
+        each bucket's deltas back to its exact totals: the result equals
+        the run's ``rep.counters`` field for field (max-like fields by
+        max).  ``--profile`` renders from this when tracing is on.
+        """
+        out = StepCounters()
+        for rec in sorted(self.spans, key=lambda r: (r.lane, r.seq)):
+            if rec.cat == "phase" and rec.delta:
+                out.step(rec.name).add(**rec.delta)
+        return out

@@ -1,0 +1,112 @@
+"""Watchdog hooks: per-sample health checks → structured warnings.
+
+A :class:`Watchdog` inspects each metrics sample (plus the live
+simulation) and returns an :class:`Alert` when something is wrong.
+Alerts are accumulated on the :class:`~repro.obs.metrics.MetricsRegistry`
+(``registry.alerts``) and logged through the ``repro.obs`` logger, so
+long runs surface NaN positions, runaway energy drift, or rank load
+imbalance without anyone staring at stdout.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+logger = logging.getLogger("repro.obs")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured watchdog warning."""
+
+    step: int
+    kind: str
+    message: str
+    value: float | None = None
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class Watchdog:
+    """Base class: override :meth:`check`."""
+
+    kind = "watchdog"
+
+    def check(self, sample: dict, sim) -> Alert | None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class NaNWatchdog(Watchdog):
+    """Fires when any body position or velocity is non-finite."""
+
+    kind = "nan_positions"
+
+    def check(self, sample: dict, sim) -> Alert | None:
+        if sim is None:
+            return None
+        x = np.asarray(sim.system.x)
+        if not np.isfinite(x).all():
+            bad = int(np.size(x) - np.isfinite(x).sum())
+            return Alert(
+                step=int(sample.get("step", -1)), kind=self.kind,
+                message=f"{bad} non-finite position component(s)",
+                value=float(bad),
+            )
+        return None
+
+
+class EnergyDriftWatchdog(Watchdog):
+    """Fires when the sampled relative energy drift exceeds *threshold*."""
+
+    kind = "energy_drift"
+
+    def __init__(self, threshold: float = 0.05):
+        self.threshold = float(threshold)
+
+    def check(self, sample: dict, sim) -> Alert | None:
+        drift = sample.get("energy_drift")
+        if drift is not None and np.isfinite(drift) and drift > self.threshold:
+            return Alert(
+                step=int(sample.get("step", -1)), kind=self.kind,
+                message=f"energy drift {drift:.3e} exceeds "
+                        f"threshold {self.threshold:.3e}",
+                value=float(drift),
+            )
+        return None
+
+
+class ImbalanceWatchdog(Watchdog):
+    """Fires when the per-rank load imbalance (max/mean modeled rank
+    seconds) exceeds *threshold* — the signal that the decomposition
+    needs a weighted rebalance."""
+
+    kind = "load_imbalance"
+
+    def __init__(self, threshold: float = 2.0):
+        self.threshold = float(threshold)
+
+    def check(self, sample: dict, sim) -> Alert | None:
+        imb = sample.get("rank_imbalance")
+        if imb is not None and np.isfinite(imb) and imb > self.threshold:
+            return Alert(
+                step=int(sample.get("step", -1)), kind=self.kind,
+                message=f"rank imbalance {imb:.3f} exceeds "
+                        f"threshold {self.threshold:.3f}",
+                value=float(imb),
+            )
+        return None
+
+
+def default_watchdogs(
+    *, energy_drift_threshold: float = 0.05, imbalance_threshold: float = 2.0,
+) -> list[Watchdog]:
+    """The standard set wired in by ``--metrics-out``."""
+    return [
+        NaNWatchdog(),
+        EnergyDriftWatchdog(energy_drift_threshold),
+        ImbalanceWatchdog(imbalance_threshold),
+    ]

@@ -51,6 +51,20 @@ def _validate(policy: ExecutionPolicy, kernel: Kernel, ctx: ExecutionContext) ->
         # LOCKSTEP scheduler and starve, raising LivelockDetected.
 
 
+def _launch_event(
+    ctx: ExecutionContext, name: str, policy: ExecutionPolicy, n: int,
+    kernel_name: str | None = None,
+) -> None:
+    """Trace one parallel-algorithm launch as an instant event
+    (policy + element count; :mod:`repro.obs`)."""
+    tracer = ctx.tracer
+    if tracer.enabled:
+        args = {"policy": policy.name, "n": int(n)}
+        if kernel_name is not None:
+            args["kernel"] = kernel_name
+        tracer.instant(name, args=args)
+
+
 def _run_scalar_sequential(items: Iterable[Any], kernel: Kernel, ctx: ExecutionContext) -> None:
     """Drive scalar generators to completion one element at a time."""
     sched = VirtualThreadScheduler(SchedulerMode.FAIR, counters=ctx.counters)
@@ -86,6 +100,7 @@ def for_each(
     _validate(policy, kernel, ctx)
     n = len(items)
     ctx.counters.add(loop_iterations=float(n), kernel_launches=1.0)
+    _launch_event(ctx, "for_each", policy, n, kernel.name)
     if n == 0:
         return
 
@@ -148,6 +163,7 @@ def transform_reduce(
         bytes_read=bytes_per_item * n,
         kernel_launches=1.0,
     )
+    _launch_event(ctx, "transform_reduce", policy, n)
     if batch is not None and ctx.backend == "vectorized" and policy is not seq:
         if policy.vectorized:
             with vectorized_region():
@@ -187,6 +203,7 @@ def sort_by_key(
         loop_iterations=float(n),
         kernel_launches=1.0,
     )
+    _launch_event(ctx, "sort", policy, n)
     return np.argsort(keys, kind="stable")
 
 
@@ -212,6 +229,7 @@ def reduce(
     n = len(values)
     ctx.counters.add(loop_iterations=float(n), flops=float(max(n - 1, 0)),
                      bytes_read=float(values.nbytes), kernel_launches=1.0)
+    _launch_event(ctx, "reduce", policy, n)
     if batch is not None and ctx.backend == "vectorized" and policy is not seq:
         if policy.vectorized:
             with vectorized_region():
@@ -244,6 +262,7 @@ def exclusive_scan(
         bytes_written=float(values.nbytes),
         kernel_launches=1.0 if policy is seq else 2.0,  # up-sweep + down-sweep
     )
+    _launch_event(ctx, "exclusive_scan", policy, n)
     out = np.empty(n, dtype=np.result_type(values.dtype, type(init)))
     if n:
         np.cumsum(values, out=out)
@@ -267,4 +286,5 @@ def inclusive_scan(
         bytes_written=float(values.nbytes),
         kernel_launches=1.0 if policy is seq else 2.0,
     )
+    _launch_event(ctx, "inclusive_scan", policy, n)
     return np.cumsum(values)

@@ -14,6 +14,7 @@ from typing import Any, Iterator, Optional
 
 from repro.errors import ConfigurationError
 from repro.machine.counters import Counters, StepCounters
+from repro.obs.tracer import NULL_TRACER
 from repro.stdpar.progress import ForwardProgress
 from repro.stdpar.scheduler import SchedulerMode, VirtualThreadScheduler
 
@@ -42,6 +43,7 @@ class ExecutionContext:
         on_progress_violation: str = "raise",
         scheduler_shuffle_seed: int | None = None,
         warp_width: int | None = None,
+        tracer: Any = None,
     ):
         if backend not in BACKENDS:
             raise ConfigurationError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -67,6 +69,9 @@ class ExecutionContext:
         self.step_counters = StepCounters()
         self.step_seconds: dict[str, float] = {}
         self._current_step = "main"
+        #: Span tracer (:mod:`repro.obs`); the shared no-op by default,
+        #: so the tracing cost when disabled is one attribute test.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     @property
@@ -76,22 +81,34 @@ class ExecutionContext:
 
     @contextmanager
     def step(self, name: str) -> Iterator[Counters]:
-        """Attribute contained work (counts + wall time) to step *name*."""
+        """Attribute contained work (counts + wall time) to step *name*.
+
+        When a tracer is attached the window also becomes a phase span:
+        the tracer snapshots this step's bucket on entry and records the
+        exact counter delta (plus host wall time and modeled duration)
+        on exit.  Nested steps of other names switch buckets, so the
+        attribution stays exclusive.
+        """
         prev = self._current_step
         self._current_step = name
+        tracer = self.tracer
+        frame = tracer.begin_phase(name, self) if tracer.enabled else None
         t0 = time.perf_counter()
         try:
             yield self.counters
         finally:
-            self.step_seconds[name] = self.step_seconds.get(name, 0.0) + (
-                time.perf_counter() - t0
-            )
+            dt = time.perf_counter() - t0
+            self.step_seconds[name] = self.step_seconds.get(name, 0.0) + dt
+            if frame is not None:
+                tracer.end_phase(frame, self, host_seconds=dt)
             self._current_step = prev
 
     def reset_accounting(self) -> None:
         self.step_counters = StepCounters()
         self.step_seconds = {}
         self._current_step = "main"
+        if self.tracer.enabled:
+            self.tracer.reset()
 
     # ------------------------------------------------------------------
     def scheduler_mode(self) -> SchedulerMode:

@@ -1,0 +1,233 @@
+"""Tests for repro.obs metrics, watchdogs, report, and bench-v2 wiring."""
+
+import json
+import logging
+
+import numpy as np
+import pytest
+
+from repro import Simulation, SimulationConfig
+from repro.bench.record import (
+    ACCEPTED_SCHEMAS,
+    SCHEMA,
+    BenchRecord,
+    read_bench_json,
+    write_bench_json,
+)
+from repro.cli import main
+from repro.core.trace import TrajectoryRecorder
+from repro.machine.costmodel import CostModel
+from repro.obs import (
+    EnergyDriftWatchdog,
+    ImbalanceWatchdog,
+    MetricsRegistry,
+    NaNWatchdog,
+    conservation_sample,
+    default_watchdogs,
+    profile_rows,
+)
+from repro.physics import GravityParams
+from repro.workloads import plummer_sphere
+
+
+def _sim(n=300, *, metrics=None, **cfg_kw):
+    system = plummer_sphere(n, seed=11)
+    cfg = SimulationConfig(dt=1e-3, gravity=GravityParams(softening=0.05),
+                           **cfg_kw)
+    return Simulation(system, cfg, metrics=metrics)
+
+
+class TestInstruments:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.0)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h").observe(1.0)
+        reg.histogram("h").observe(3.0)
+        assert reg.counters["c"].value == 3.0
+        assert reg.gauges["g"].value == 0.5
+        h = reg.histograms["h"]
+        assert h.count == 2 and h.mean == 2.0 and h.vmin == 1.0 and h.vmax == 3.0
+        d = reg.as_dict()
+        assert d["counters"]["c"] == 3.0
+        assert d["histograms"]["h"]["count"] == 2
+
+
+class TestPerStepSampling:
+    def test_single_rank_grouped(self):
+        reg = MetricsRegistry()
+        sim = _sim(metrics=reg, algorithm="bvh", traversal="grouped")
+        sim.run(3)
+        assert len(reg.samples) == 3
+        for s in reg.samples:
+            assert s["flops"] > 0.0
+            assert 0.0 < s["mac_acceptance"] <= 1.0
+        assert reg.counters["flops"].value == pytest.approx(
+            sim.last_report.counters.total().flops)
+
+    def test_ilist_cache_hits_counted(self):
+        reg = MetricsRegistry()
+        sim = _sim(metrics=reg, algorithm="bvh", traversal="grouped",
+                   tree_update="refit")
+        sim.run(4)
+        hits = reg.counters.get("ilist_reuses")
+        assert hits is not None and hits.value > 0
+        assert reg.gauges["refit_fraction"].value > 0.0
+
+    def test_distributed_comm_and_imbalance(self):
+        reg = MetricsRegistry()
+        sim = _sim(400, metrics=reg, algorithm="bvh", ranks=4,
+                   traversal="dual")
+        sim.run(2)
+        assert reg.counters["comm_bytes"].value > 0.0
+        assert reg.gauges["rank_imbalance"].value >= 1.0
+        assert all(s["comm_bytes"] > 0.0 for s in reg.samples)
+
+    def test_metrics_do_not_change_physics(self):
+        a = _sim(algorithm="bvh")
+        a.run(3)
+        b = _sim(algorithm="bvh", metrics=MetricsRegistry())
+        b.run(3)
+        np.testing.assert_array_equal(a.system.x, b.system.x)
+
+
+class TestTrajectoryRecorderIntegration:
+    def test_recorder_routes_drift_to_registry(self):
+        reg = MetricsRegistry()
+        sim = _sim(metrics=reg, algorithm="bvh")
+        rec = TrajectoryRecorder(sim, sample_every=2)
+        trace = rec.run(4)
+        assert rec.metrics is reg
+        cons = [s for s in reg.samples if "energy_drift" in s]
+        assert len(cons) == 2  # one per recorder sample after step 0
+        assert reg.gauges["energy_drift"].value == pytest.approx(
+            trace.max_energy_drift(), rel=1e-9)
+        assert "momentum_drift" in cons[-1]
+
+    def test_recorder_uses_shared_sample(self):
+        sim = _sim(algorithm="bvh")
+        rec = TrajectoryRecorder(sim)
+        diag = conservation_sample(sim.system, sim.config.gravity)
+        s0 = rec.trace.samples[0]
+        assert s0.kinetic == pytest.approx(diag["kinetic"])
+        assert s0.potential == pytest.approx(diag["potential"])
+        np.testing.assert_allclose(s0.momentum, diag["momentum"])
+
+
+class TestWatchdogs:
+    def test_nan_watchdog(self, caplog):
+        reg = MetricsRegistry(watchdogs=[NaNWatchdog()])
+        sim = _sim(algorithm="bvh", metrics=reg)
+        sim.system.x[0, 0] = np.nan
+        with caplog.at_level(logging.WARNING, logger="repro.obs"):
+            reg.sample_step(sim, 0)
+        assert len(reg.alerts) == 1
+        assert reg.alerts[0]["kind"] == "nan_positions"
+        assert "non-finite" in caplog.text
+
+    def test_energy_drift_watchdog(self):
+        reg = MetricsRegistry(watchdogs=[EnergyDriftWatchdog(1e-15)])
+        sim = _sim(algorithm="bvh", metrics=reg)
+        rec = TrajectoryRecorder(sim, metrics=reg)
+        rec.run(3)
+        assert any(a["kind"] == "energy_drift" for a in reg.alerts)
+
+    def test_imbalance_watchdog(self):
+        reg = MetricsRegistry(watchdogs=[ImbalanceWatchdog(1.0)])
+        sim = _sim(400, metrics=reg, algorithm="bvh", ranks=4)
+        sim.run(1)
+        assert any(a["kind"] == "load_imbalance" for a in reg.alerts)
+
+    def test_default_set_quiet_on_healthy_run(self):
+        reg = MetricsRegistry(watchdogs=default_watchdogs())
+        sim = _sim(metrics=reg, algorithm="bvh")
+        sim.run(3)
+        assert reg.alerts == []
+
+
+class TestBenchSchemaV2:
+    def test_v2_roundtrip_with_metrics(self, tmp_path):
+        reg = MetricsRegistry()
+        sim = _sim(metrics=reg, algorithm="bvh", traversal="grouped")
+        sim.run(2)
+        rec = BenchRecord(workload="plummer", n=300, config={"algorithm": "bvh"},
+                          host_seconds=0.1, model_seconds=1e-3,
+                          metrics=reg.metrics_block())
+        path = write_bench_json("obs_test", [rec], out_dir=tmp_path)
+        payload = read_bench_json(path)
+        assert payload["schema"] == SCHEMA == "repro-bench-v2"
+        block = payload["records"][0]["metrics"]
+        assert block["counters"]["flops"] > 0.0
+        assert block["n_alerts"] == 0
+
+    def test_metrics_key_omitted_when_unset(self, tmp_path):
+        rec = BenchRecord(workload="w", n=1, config={}, host_seconds=0.0)
+        path = write_bench_json("obs_plain", [rec], out_dir=tmp_path)
+        assert "metrics" not in read_bench_json(path)["records"][0]
+
+    def test_v1_files_still_read(self, tmp_path):
+        payload = {"schema": "repro-bench-v1", "name": "old", "meta": {},
+                   "records": []}
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(json.dumps(payload))
+        assert read_bench_json(path)["schema"] == "repro-bench-v1"
+        assert set(ACCEPTED_SCHEMAS) == {"repro-bench-v1", "repro-bench-v2"}
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text(json.dumps({"schema": "repro-bench-v99", "records": []}))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            read_bench_json(path)
+
+
+class TestProfileReport:
+    def test_total_row_aggregates_every_column(self):
+        sim = _sim(algorithm="bvh", traversal="grouped")
+        rep = sim.run(2)
+        model = CostModel(sim.ctx.device, toolchain=sim.ctx.toolchain)
+        rows = profile_rows(rep.counters, model, 2)
+        total = rows[-1]
+        assert total["phase"] == "total"
+        for col in ("model_s", "flops", "bytes", "comm_bytes", "launches",
+                    "mac_evals", "pairs_deferred", "pairs_accepted_cc"):
+            want = sum(float(r[col]) for r in rows[:-1])
+            assert float(total[col]) == pytest.approx(want)
+        assert float(total["flops"]) > 0.0
+        assert float(total["launches"]) > 0.0
+
+
+class TestCLIObservability:
+    ARGS = ["run", "--algorithm", "bvh", "--n", "300", "--steps", "2",
+            "--ranks", "2", "--workload", "plummer", "--traversal", "dual"]
+
+    def test_trace_and_metrics_out(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        met = tmp_path / "metrics.json"
+        rc = main(self.ARGS + ["--trace-out", str(trace),
+                               "--metrics-out", str(met), "--profile"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(spans)" in out and "total" in out
+        payload = json.loads(trace.read_text())
+        assert payload["otherData"]["schema"] == "repro-trace-v1"
+        names = {e.get("args", {}).get("name") for e in payload["traceEvents"]
+                 if e.get("ph") == "M"}
+        assert {"rank 0", "rank 1"} <= names
+        mpay = json.loads(met.read_text())
+        assert mpay["samples"] and mpay["counters"]["flops"] > 0.0
+        assert mpay["gauges"]["energy_drift"] is not None
+
+    def test_cli_traces_byte_identical(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for p in paths:
+            assert main(self.ARGS + ["--trace-out", str(p)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_jsonl_trace_out(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--trace-out", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta" and meta["schema"] == "repro-trace-v1"
+        assert all(json.loads(l).get("ph") for l in lines[1:])
