@@ -1,13 +1,18 @@
 """Microbenchmark: per-body lockstep vs group-coherent force traversal.
 
 Times CALCULATEFORCE only (trees prebuilt) on the galaxy workload for
-both tree strategies and three traversal modes:
+both tree strategies, across the traversal modes and — with lists
+cached — the three list evaluators:
 
 * ``lockstep``     — the per-body masked-numpy walk (paper Fig. 3);
 * ``grouped``      — group-coherent traversal, interaction lists built
   *and* evaluated in the same call (what a rebuild-every-step run pays);
-* ``grouped+cache``— list reuse across timesteps: lists come from the
-  structure cache and only the dense tile evaluation runs.
+* ``tile+cache``   — cached lists, per-group dense-tile evaluation (the
+  deterministic reference kernel);
+* ``gemm+cache``   — cached lists, per-group BLAS evaluation;
+* ``flat+cache``   — cached lists, flattened SoA batch evaluation with
+  the near field deduped Newton's-third-law style (the default ``auto``
+  pick for multi-body groups).
 
 Usage::
 
@@ -15,9 +20,21 @@ Usage::
     python benchmarks/bench_traversal_modes.py --smoke    # quick CI check
     pytest benchmarks/bench_traversal_modes.py            # smoke via pytest
 
-The full run asserts the tentpole target: >= 3x host wall-clock speedup
-of grouped (build+eval) over lockstep at N=1e4, plus bit-identical
-results at ``group_size=1``.
+The full run asserts the tentpole targets: >= 3x host wall-clock
+speedup of grouped (build+eval) over lockstep at N=1e4, >= 1.8x of
+flat over tile on the cached-list evaluation (measured ~2-2.9x; the
+floor leaves jitter margin for a wall-clock assert), n3l dedup ratio
+>= 1.2, and flat matching tile within 1e-12 relative error.  (Flat does *not* beat
+gemm on this host — OpenBLAS tiles sit in L2 at ~13 ns/pair — so the
+flat/gemm ratio is reported, not asserted; see EXPERIMENTS.md for the
+hardware economics.  The n3l dedup ratio is geometry-bound near ~1.3 on
+the galaxy workload: only mutually-near group pairs dedupe, and the
+one-sided MAC emits asymmetric near lists for unequal group extents.)
+
+Wall-clock-dependent ratios (speedups) are nested under ``extra.host``
+so :mod:`check_bench_regression` — which compares every *numeric*
+``extra`` — only pins the deterministic metrics (model seconds,
+interaction counts, errors, dedup ratio).
 """
 
 from __future__ import annotations
@@ -32,32 +49,52 @@ import numpy as np
 from repro.bench import BenchRecord, format_table, write_bench_json
 from repro.bvh.build import build_bvh
 from repro.bvh.force import bvh_accelerations, bvh_accelerations_grouped
+from repro.machine.catalog import get_device
+from repro.machine.costmodel import CostModel
+from repro.obs import MetricsRegistry
 from repro.octree.build_vectorized import build_octree_vectorized
 from repro.octree.force import octree_accelerations, octree_accelerations_grouped
 from repro.octree.multipoles import compute_multipoles_vectorized
 from repro.physics.accuracy import relative_l2_error
 from repro.physics.gravity import GravityParams
+from repro.stdpar.context import ExecutionContext
 from repro.workloads import galaxy_collision
 
 PARAMS = GravityParams(softening=0.05)
 THETA = 0.5
 GROUP_SIZE = 32
+DEVICE = "gh200"
+EVAL_MODES = ("tile", "gemm", "flat")
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _metrics_block(dedup_ratio: float) -> dict:
+    """The ``repro-bench-v2`` metrics block carrying the dedup ratio."""
+    reg = MetricsRegistry()
+    reg.gauge("n3l_dedup_ratio").set(dedup_ratio)
+    reg.histogram("n3l_dedup_ratio").observe(dedup_ratio)
+    return reg.metrics_block()
 
 
 def _records(rows: list[dict], n: int) -> list[BenchRecord]:
     """Rows in the shared BENCH_*.json schema (repro.bench.record)."""
-    return [
-        BenchRecord(
+    out = []
+    for r in rows:
+        extra: dict = {"rel_l2_vs_lockstep": r["rel_l2_vs_lockstep"],
+                       "host": {"speedup": r["speedup"]}}
+        for k in ("interactions", "rel_l2_vs_tile", "n3l_dedup_ratio"):
+            if k in r:
+                extra[k] = r[k]
+        out.append(BenchRecord(
             workload="galaxy", n=n,
             config={"tree": r["tree"], "mode": r["mode"], "theta": THETA,
                     "group_size": GROUP_SIZE, "softening": PARAMS.softening},
-            host_seconds=r["seconds"], model_seconds=None,
-            extra={"speedup": r["speedup"],
-                   "rel_l2_vs_lockstep": r["rel_l2_vs_lockstep"]},
-        )
-        for r in rows
-    ]
+            host_seconds=r["seconds"], model_seconds=r.get("model_seconds"),
+            extra=extra,
+            metrics=(_metrics_block(r["n3l_dedup_ratio"])
+                     if "n3l_dedup_ratio" in r else None),
+        ))
+    return out
 
 
 def _best_of(fn, reps: int) -> float:
@@ -77,40 +114,67 @@ def sweep(n: int, *, group_size: int = GROUP_SIZE, reps: int = 3) -> list[dict]:
     pool = build_octree_vectorized(x)
     compute_multipoles_vectorized(pool, x, m, None)
     bvh = build_bvh(x, m)
+    model = CostModel(get_device(DEVICE))
+
+    def octree_grouped(c, mode="auto", ctx=None):
+        return octree_accelerations_grouped(
+            pool, x, m, PARAMS, theta=THETA, group_size=group_size,
+            cache=c, eval_mode=mode, ctx=ctx)
+
+    def bvh_grouped(c, mode="auto", ctx=None):
+        return bvh_accelerations_grouped(
+            bvh, PARAMS, theta=THETA, group_size=group_size,
+            cache=c, eval_mode=mode, ctx=ctx)
 
     cases = {
-        "octree": {
-            "lockstep": lambda: octree_accelerations(
-                pool, x, m, PARAMS, theta=THETA),
-            "grouped": lambda c: octree_accelerations_grouped(
-                pool, x, m, PARAMS, theta=THETA, group_size=group_size, cache=c),
-        },
-        "bvh": {
-            "lockstep": lambda: bvh_accelerations(bvh, PARAMS, theta=THETA),
-            "grouped": lambda c: bvh_accelerations_grouped(
-                bvh, PARAMS, theta=THETA, group_size=group_size, cache=c),
-        },
+        "octree": (lambda: octree_accelerations(pool, x, m, PARAMS,
+                                                theta=THETA), octree_grouped),
+        "bvh": (lambda: bvh_accelerations(bvh, PARAMS, theta=THETA),
+                bvh_grouped),
     }
 
     rows = []
-    for tree, fns in cases.items():
-        a_lock = fns["lockstep"]()
-        t_lock = _best_of(fns["lockstep"], reps)
+    for tree, (lockstep, grouped) in cases.items():
+        a_lock = lockstep()
+        t_lock = _best_of(lockstep, reps)
 
+        # No cache: what a rebuild-every-step run pays per step (auto
+        # resolves to gemm — flat's epoch expansion can't amortize).
+        a_grp = grouped(None)
+        t_build = _best_of(lambda: grouped(None), reps)
         cache: dict = {}
-        a_grp = fns["grouped"](cache)
-        t_build = _best_of(lambda: (cache.clear(), fns["grouped"](cache)), reps)
-        t_cached = _best_of(lambda: fns["grouped"](cache), reps)
 
         err = relative_l2_error(a_grp, a_lock)
         rows.append({"tree": tree, "mode": "lockstep",
-                     "seconds": t_lock, "speedup": 1.0, "rel_l2_vs_lockstep": 0.0})
+                     "seconds": t_lock, "speedup": 1.0,
+                     "rel_l2_vs_lockstep": 0.0})
         rows.append({"tree": tree, "mode": "grouped",
                      "seconds": t_build, "speedup": t_lock / t_build,
                      "rel_l2_vs_lockstep": err})
-        rows.append({"tree": tree, "mode": "grouped+cache",
-                     "seconds": t_cached, "speedup": t_lock / t_cached,
-                     "rel_l2_vs_lockstep": err})
+
+        # Cached-list evaluators.  The warm-up call populates the
+        # cached flat/self-pair precomputes; the steady ctx pass then
+        # yields the per-step counters the cost model prices.
+        accs: dict[str, np.ndarray] = {}
+        for mode in EVAL_MODES:
+            grouped(cache, mode)                       # warm precomputes
+            steady = ExecutionContext()
+            accs[mode] = grouped(cache, mode, steady)
+            c = steady.counters
+            row = {
+                "tree": tree, "mode": f"{mode}+cache",
+                "seconds": _best_of(lambda: grouped(cache, mode), reps),
+                "model_seconds": model.step_time(c).total,
+                "interactions": float(c.list_eval_interactions),
+                "rel_l2_vs_lockstep": relative_l2_error(accs[mode], a_lock),
+            }
+            row["speedup"] = t_lock / row["seconds"]
+            if mode == "flat":
+                row["rel_l2_vs_tile"] = relative_l2_error(
+                    accs["flat"], accs["tile"])
+                row["n3l_dedup_ratio"] = (
+                    c.near_pairs_naive / c.near_pairs_evaluated)
+            rows.append(row)
     return rows
 
 
@@ -120,30 +184,60 @@ def _report(rows: list[dict], n: int) -> str:
                     f"group_size={GROUP_SIZE} (host wall clock)")
 
 
-def run(n: int, *, reps: int, min_speedup: float | None) -> int:
+def _by(rows: list[dict]) -> dict:
+    return {(r["tree"], r["mode"]): r for r in rows}
+
+
+def run(n: int, *, reps: int, min_speedup: float | None,
+        min_flat_vs_tile: float | None, min_dedup: float) -> int:
     rows = sweep(n, reps=reps)
     print(_report(rows, n))
     path = write_bench_json("traversal_modes", _records(rows, n),
                             out_dir=RESULTS_DIR,
                             meta={"theta": THETA, "group_size": GROUP_SIZE,
-                                  "reps": reps})
+                                  "device": DEVICE, "reps": reps})
     print(f"[saved to {path}]")
     status = 0
+    by = _by(rows)
     for r in rows:
         if r["mode"] == "grouped":
             # Conservative group MAC: grouped only opens more nodes, so
             # its error vs the all-pairs truth is within the lockstep
             # bound; vs lockstep itself it stays theta-sized.
             if not r["rel_l2_vs_lockstep"] < 0.12 * THETA:
-                print(f"FAIL: {r['tree']} grouped error {r['rel_l2_vs_lockstep']:.3g} "
-                      f"exceeds theta bound")
+                print(f"FAIL: {r['tree']} grouped error "
+                      f"{r['rel_l2_vs_lockstep']:.3g} exceeds theta bound")
                 status = 1
             if min_speedup is not None and r["speedup"] < min_speedup:
                 print(f"FAIL: {r['tree']} grouped speedup {r['speedup']:.2f}x "
                       f"< required {min_speedup}x")
                 status = 1
+    for tree in ("octree", "bvh"):
+        flat = by[(tree, "flat+cache")]
+        tile = by[(tree, "tile+cache")]
+        gemm = by[(tree, "gemm+cache")]
+        vs_tile = tile["seconds"] / flat["seconds"]
+        vs_gemm = gemm["seconds"] / flat["seconds"]
+        print(f"{tree}: flat vs tile {vs_tile:.2f}x, vs gemm {vs_gemm:.2f}x "
+              f"(host), n3l dedup {flat['n3l_dedup_ratio']:.3f}, "
+              f"rel L2 vs tile {flat['rel_l2_vs_tile']:.2e}")
+        if not flat["rel_l2_vs_tile"] < 1e-12:
+            print(f"FAIL: {tree} flat deviates from tile by "
+                  f"{flat['rel_l2_vs_tile']:.3g} (>1e-12)")
+            status = 1
+        if min_flat_vs_tile is not None and vs_tile < min_flat_vs_tile:
+            print(f"FAIL: {tree} flat only {vs_tile:.2f}x over tile "
+                  f"(required {min_flat_vs_tile}x)")
+            status = 1
+        if flat["n3l_dedup_ratio"] < min_dedup:
+            print(f"FAIL: {tree} n3l dedup ratio "
+                  f"{flat['n3l_dedup_ratio']:.3f} < required {min_dedup}")
+            status = 1
     if status == 0 and min_speedup is not None:
-        print(f"OK: grouped >= {min_speedup}x over lockstep on both trees")
+        msg = f"OK: grouped >= {min_speedup}x over lockstep"
+        if min_flat_vs_tile is not None:
+            msg += f", flat >= {min_flat_vs_tile}x over tile"
+        print(msg + " on both trees")
     return status
 
 
@@ -156,9 +250,11 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
     if args.smoke:
         n = args.n or 2000
-        return run(n, reps=args.reps or 1, min_speedup=1.0)
+        return run(n, reps=args.reps or 1, min_speedup=1.0,
+                   min_flat_vs_tile=None, min_dedup=1.1)
     n = args.n or 10_000
-    return run(n, reps=args.reps or 3, min_speedup=3.0)
+    return run(n, reps=args.reps or 3, min_speedup=3.0,
+               min_flat_vs_tile=1.8, min_dedup=1.2)
 
 
 try:
@@ -176,12 +272,15 @@ if pytest is not None:
         write_bench_json("traversal_modes", _records(rows, 2000),
                          out_dir=results_dir,
                          meta={"theta": THETA, "group_size": GROUP_SIZE,
-                               "smoke": True})
-        by = {(r["tree"], r["mode"]): r for r in rows}
+                               "device": DEVICE, "smoke": True})
+        by = _by(rows)
         for tree in ("octree", "bvh"):
             assert by[(tree, "grouped")]["speedup"] > 1.0
-            assert by[(tree, "grouped+cache")]["speedup"] > 1.0
             assert by[(tree, "grouped")]["rel_l2_vs_lockstep"] < 0.12 * THETA
+            flat = by[(tree, "flat+cache")]
+            assert flat["rel_l2_vs_tile"] < 1e-12
+            assert flat["n3l_dedup_ratio"] > 1.1
+            assert flat["speedup"] > 1.0
 
 
 if __name__ == "__main__":

@@ -38,8 +38,10 @@ from repro.traversal.engine import (
     TreeView,
     account_grouped_force,
     build_interaction_lists,
+    build_self_pairs,
     evaluate_interaction_lists,
 )
+from repro.traversal.flat import build_flat_lists
 from repro.traversal.groups import make_groups
 from repro.types import FLOAT, INDEX
 
@@ -272,11 +274,34 @@ def bvh_accelerations_grouped(
     groups = cached["groups"]
     lists = cached["lists"]
 
+    mode = eval_mode
+    if mode == "auto":
+        # Flat's index expansion is a per-epoch precompute: pick it
+        # only when a structure cache amortizes it, gemm otherwise.
+        if groups.max_group_size <= 1:
+            mode = "tile"
+        else:
+            mode = "flat" if cache is not None else "gemm"
+    # Per-epoch precomputes live inside the cached entry, so the
+    # maintainer's list invalidation drops them in the same stroke.
+    flat = self_pairs = None
+    if mode == "flat":
+        flat = cached.get("flat")
+        if flat is None:
+            flat = build_flat_lists(view, lists, groups)
+            cached["flat"] = flat
+    elif mode == "gemm":
+        self_pairs = cached.get("selfpairs")
+        if self_pairs is None:
+            self_pairs = build_self_pairs(view, lists, groups)
+            cached["selfpairs"] = self_pairs
+
     # point_body ids are sorted rows, so the default identity body_ids
     # already matches and the gemm kernel can zero self-interactions.
     acc_s, stats = evaluate_interaction_lists(
         view, lists, groups, bvh.x_sorted,
-        G=params.G, eps2=params.eps2, mode=eval_mode,
+        G=params.G, eps2=params.eps2, mode=mode,
+        flat=flat, m_sorted=bvh.m_sorted, self_pairs=self_pairs,
     )
 
     if ctx is not None:
@@ -286,6 +311,9 @@ def bvh_accelerations_grouped(
             pairs=stats["pairs"], quad_terms=stats["quad_terms"],
             visit_bytes=view.visit_bytes, built=built,
             flops_per_visit=10.0,
+            flat_launches=stats["flat_launches"],
+            near_pairs_naive=stats["near_pairs_naive"],
+            near_pairs_evaluated=stats["near_pairs_evaluated"],
         )
 
     out = np.empty_like(acc_s)
@@ -345,10 +373,31 @@ def bvh_accelerations_dual(
     groups = cached["groups"]
     dual = cached["dual"]
 
+    mode = eval_mode
+    if mode == "auto":
+        # Flat's index expansion is a per-epoch precompute: pick it
+        # only when a structure cache amortizes it, gemm otherwise.
+        if groups.max_group_size <= 1:
+            mode = "tile"
+        else:
+            mode = "flat" if cache is not None else "gemm"
+    flat = self_pairs = None
+    if mode == "flat":
+        flat = cached.get("flat")
+        if flat is None:
+            flat = build_flat_lists(view, dual.near, groups)
+            cached["flat"] = flat
+    elif mode == "gemm":
+        self_pairs = cached.get("selfpairs")
+        if self_pairs is None:
+            self_pairs = build_self_pairs(view, dual.near, groups)
+            cached["selfpairs"] = self_pairs
+
     acc_s, stats = evaluate_dual(
         view, dual, groups, bvh.x_sorted,
-        G=params.G, eps2=params.eps2, mode=eval_mode,
+        G=params.G, eps2=params.eps2, mode=mode,
         expansion_order=expansion_order, ctx=ctx,
+        flat=flat, m_sorted=bvh.m_sorted, self_pairs=self_pairs,
     )
 
     if ctx is not None:
@@ -359,6 +408,9 @@ def bvh_accelerations_dual(
             quad_far=stats["quad_far"], expansion_order=expansion_order,
             visit_bytes=view.visit_bytes, built=built,
             flops_per_visit=10.0,
+            flat_launches=stats["flat_launches"],
+            near_pairs_naive=stats["near_pairs_naive"],
+            near_pairs_evaluated=stats["near_pairs_evaluated"],
         )
 
     out = np.empty_like(acc_s)

@@ -52,6 +52,7 @@ def _cmd_run(args) -> int:
     cfg = SimulationConfig(algorithm=args.algorithm, theta=args.theta,
                            dt=args.dt, gravity=gravity,
                            traversal=args.traversal, group_size=args.group_size,
+                           eval_mode=args.eval_mode,
                            cc_mac=args.cc_mac,
                            expansion_order=args.expansion_order,
                            ranks=args.ranks, decomposition=args.decomposition,
@@ -216,6 +217,12 @@ def main(argv: list[str] | None = None) -> int:
                         "or dual-tree cell-cell with local expansions")
     p.add_argument("--group-size", type=int, default=32, dest="group_size",
                    help="bodies per traversal group (grouped/dual modes)")
+    p.add_argument("--eval-mode", default="auto", dest="eval_mode",
+                   choices=["auto", "tile", "gemm", "flat"],
+                   help="grouped/dual list-evaluation kernel: per-group "
+                        "tiles (tile/gemm) or flattened SoA batch kernels "
+                        "with n3l near-field dedup (flat); auto = flat "
+                        "for multi-body groups")
     p.add_argument("--cc-mac", type=float, default=1.5, dest="cc_mac",
                    help="dual mode: target-side opening multiplier of the "
                         "cell-cell MAC (0 disables the far-field branch)")

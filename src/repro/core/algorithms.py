@@ -211,6 +211,7 @@ class OctreeAlgorithm(ForceAlgorithm):
                     expansion_order=config.expansion_order,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             elif config.traversal == "grouped":
                 acc = octree_accelerations_grouped(
@@ -218,6 +219,7 @@ class OctreeAlgorithm(ForceAlgorithm):
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             else:
                 acc = octree_accelerations(
@@ -277,6 +279,7 @@ class BVHAlgorithm(ForceAlgorithm):
                     expansion_order=config.expansion_order,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             elif config.traversal == "grouped":
                 acc = bvh_accelerations_grouped(
@@ -284,6 +287,7 @@ class BVHAlgorithm(ForceAlgorithm):
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             else:
                 acc = bvh_accelerations(
@@ -353,6 +357,7 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
                     expansion_order=config.expansion_order,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             elif config.traversal == "grouped":
                 acc = octree_accelerations_grouped(
@@ -360,6 +365,7 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
                     theta=config.theta, group_size=config.group_size,
                     ctx=ctx, simt_width=config.simt_width, cache=entry,
                     mac_margin=maint.mac_margin if maint is not None else 0.0,
+                    eval_mode=config.eval_mode,
                 )
             else:
                 acc = octree_accelerations(

@@ -85,6 +85,16 @@ class SimulationConfig:
     #: ``group_size=1`` reproduces the lockstep walk bit for bit (at
     #: monopole order, grouped traversal).
     group_size: int = 32
+    #: Tile kernel of the grouped / dual near field: ``"tile"`` (dense
+    #: per-group tiles, bit-compatible with the lockstep kernels),
+    #: ``"gemm"`` (per-group BLAS), ``"flat"`` (flattened SoA batch
+    #: kernels with Newton's-third-law near-field dedup —
+    #: :mod:`repro.traversal.flat`), or ``"auto"`` (default: tile for
+    #: one-body groups, whose contract is bit-exactness; flat for
+    #: multi-body groups when the structure cache can amortize its
+    #: per-epoch index expansion — always the case inside a
+    #: :class:`Simulation` — and gemm for uncached one-shot calls).
+    eval_mode: str = "auto"
     #: Dual traversal only: target-side opening multiplier of the
     #: symmetric cell-cell MAC.  A pair is retired far-field when the
     #: source passes the conservative MAC *and* the target box satisfies
@@ -170,6 +180,10 @@ class SimulationConfig:
             )
         if not isinstance(self.group_size, int) or self.group_size < 1:
             raise ConfigurationError("group_size must be an integer >= 1")
+        if self.eval_mode not in ("auto", "tile", "gemm", "flat"):
+            raise ConfigurationError(
+                "eval_mode must be 'auto', 'tile', 'gemm' or 'flat'"
+            )
         if not (isinstance(self.cc_mac, (int, float)) and self.cc_mac >= 0):
             raise ConfigurationError("cc_mac must be a non-negative number")
         if self.expansion_order not in (0, 1, 2):

@@ -140,6 +140,13 @@ class RemoteEvalStats:
     #: work on top of the near-field tile work.
     dual: object | None = None
     quad_far: int = 0
+    #: Flat-evaluation stats (zero for the tile kernels).  Remote halo
+    #: tiles are one-sided by construction — the mirror pair lives on
+    #: the other rank — so n3l is disabled and only the launch count is
+    #: ever non-zero here.
+    flat_launches: int = 0
+    near_pairs_naive: int = 0
+    near_pairs_evaluated: int = 0
 
 
 def remote_accelerations(
@@ -221,8 +228,12 @@ def remote_accelerations(
                 w = np.where(r2 > 0.0, G * mb * r2 ** -1.5, 0.0)
             acc[rows] += np.einsum("ij,ijk->ik", w, d)
             pairs += w.size
-    return acc, RemoteEvalStats(lists, pairs, stats["quad_terms"],
-                                dual=dual, quad_far=quad_far)
+    return acc, RemoteEvalStats(
+        lists, pairs, stats["quad_terms"], dual=dual, quad_far=quad_far,
+        flat_launches=stats.get("flat_launches", 0),
+        near_pairs_naive=stats.get("near_pairs_naive", 0),
+        near_pairs_evaluated=stats.get("near_pairs_evaluated", 0),
+    )
 
 
 def halo_point_accelerations(

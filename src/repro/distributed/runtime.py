@@ -246,6 +246,7 @@ class DistributedRuntime:
                         acc_c, st = remote_accelerations(
                             views[s], groups_d, xr[d], cfg.theta,
                             G=cfg.gravity.G, eps2=cfg.gravity.eps2,
+                            eval_mode=cfg.eval_mode,
                             exact_bodies=exact(s), x_src=xr[s], m_src=mr[s],
                             traversal=cfg.traversal
                             if cfg.traversal == "dual" else "grouped",
@@ -265,6 +266,9 @@ class DistributedRuntime:
                                 visit_bytes=views[s].visit_bytes,
                                 built=True, flops_per_visit=fpv,
                                 launches=remote_launches,
+                                flat_launches=st.flat_launches,
+                                near_pairs_naive=st.near_pairs_naive,
+                                near_pairs_evaluated=st.near_pairs_evaluated,
                             )
                         else:
                             account_grouped_force(
@@ -275,6 +279,9 @@ class DistributedRuntime:
                                 visit_bytes=views[s].visit_bytes, built=True,
                                 flops_per_visit=fpv,
                                 launches=remote_launches,
+                                flat_launches=st.flat_launches,
+                                near_pairs_naive=st.near_pairs_naive,
+                                near_pairs_evaluated=st.near_pairs_evaluated,
                             )
                         remote_launches = 0.0
                     acc[members[d]] = acc_d
@@ -456,12 +463,14 @@ class DistributedRuntime:
                     theta=cfg.theta, group_size=cfg.group_size,
                     cc_mac=cfg.cc_mac, expansion_order=cfg.expansion_order,
                     ctx=rc, simt_width=cfg.simt_width,
+                    eval_mode=cfg.eval_mode,
                 )
             if cfg.traversal == "grouped":
                 return octree_accelerations_grouped(
                     pools[r], xr[r], mr[r], cfg.gravity,
                     theta=cfg.theta, group_size=cfg.group_size,
                     ctx=rc, simt_width=cfg.simt_width,
+                    eval_mode=cfg.eval_mode,
                 )
             return octree_accelerations(
                 pools[r], xr[r], mr[r], cfg.gravity,
@@ -559,12 +568,14 @@ class DistributedRuntime:
                     theta=cfg.theta, group_size=cfg.group_size,
                     cc_mac=cfg.cc_mac, expansion_order=cfg.expansion_order,
                     ctx=rc, simt_width=cfg.simt_width,
+                    eval_mode=cfg.eval_mode,
                 )
             if cfg.traversal == "grouped":
                 return bvh_accelerations_grouped(
                     bvhs[r], cfg.gravity,
                     theta=cfg.theta, group_size=cfg.group_size,
                     ctx=rc, simt_width=cfg.simt_width,
+                    eval_mode=cfg.eval_mode,
                 )
             return bvh_accelerations(
                 bvhs[r], cfg.gravity,

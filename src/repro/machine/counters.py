@@ -85,6 +85,16 @@ class Counters:
     comm_messages: float = 0.0
     #: Number of parallel-algorithm invocations (kernel launches).
     kernel_launches: float = 0.0
+    #: Flattened-batch evaluation: SoA kernels launched per step (node
+    #: sources, two-sided pairs, one-sided pairs — at most 3).
+    flat_launches: float = 0.0
+    #: Near-field body pairs the lists name in ordered form (what the
+    #: tile kernels would evaluate), before the n3l dedup.
+    near_pairs_naive: float = 0.0
+    #: Near-field pair evaluations actually executed by the flat path
+    #: (two-sided pairs count once); ``naive / evaluated`` is the n3l
+    #: dedup ratio surfaced by ``--profile`` and the metrics block.
+    near_pairs_evaluated: float = 0.0
     #: Number of scheduler preemptions / lock retries observed (only
     #: populated by the virtual-thread backend).
     lock_retries: float = 0.0

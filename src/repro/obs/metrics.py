@@ -143,7 +143,8 @@ class MetricsRegistry:
         """Fold post-loop charges (bulk ``update_position``) into the
         cumulative counters, so they equal the run report's totals."""
         totals = sim.ctx.step_counters.total().as_dict()
-        for name in ("flops", "comm_bytes", "comm_messages", "kernel_launches"):
+        for name in ("flops", "comm_bytes", "comm_messages",
+                     "kernel_launches", "flat_launches"):
             self.counter(name).inc(
                 totals.get(name, 0.0) - self._last_totals.get(name, 0.0))
         self._last_totals = totals
@@ -157,10 +158,21 @@ class MetricsRegistry:
         self._last_totals = totals
         sample: dict[str, Any] = {"step": int(step_index)}
 
-        for name in ("flops", "comm_bytes", "comm_messages", "kernel_launches"):
+        for name in ("flops", "comm_bytes", "comm_messages",
+                     "kernel_launches", "flat_launches"):
             self.counter(name).inc(delta.get(name, 0.0))
         sample["flops"] = delta.get("flops", 0.0)
         sample["comm_bytes"] = delta.get("comm_bytes", 0.0)
+
+        # n3l near-field dedup: naive ordered pairs / deduped
+        # evaluations, from this step's flat-kernel deltas.  Only
+        # meaningful when the flat evaluator actually ran.
+        evaluated = delta.get("near_pairs_evaluated", 0.0)
+        if evaluated > 0.0:
+            ratio = delta.get("near_pairs_naive", 0.0) / evaluated
+            self.gauge("n3l_dedup_ratio").set(ratio)
+            self.histogram("n3l_dedup_ratio").observe(ratio)
+            sample["n3l_dedup_ratio"] = ratio
 
         mac = delta.get("mac_evals", 0.0)
         accepted = (delta.get("interaction_list_size", 0.0)

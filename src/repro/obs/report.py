@@ -21,9 +21,11 @@ _COLUMNS = (
     ("bytes", "bytes", 10),
     ("comm_bytes", "comm B", 10),
     ("launches", "launches", 8),
+    ("flat_launches", "flat ln", 8),
     ("mac_evals", "MACs", 10),
     ("pairs_deferred", "near prs", 10),
     ("pairs_accepted_cc", "cc prs", 10),
+    ("n3l_dedup", "n3l dedup", 9),
 )
 
 
@@ -37,6 +39,9 @@ def profile_rows(
     names += sorted(n for n in counters.steps if n not in order)
     rows: list[dict[str, float | str]] = []
     total = {name: 0.0 for name, _, _ in _COLUMNS}
+    # The dedup ratio is not additive across phases: the totals row
+    # recomputes it from the separately summed naive/evaluated counts.
+    naive_sum = eval_sum = 0.0
     for phase in names:
         c = counters.steps[phase]
         row: dict[str, float | str] = {
@@ -46,13 +51,20 @@ def profile_rows(
             "bytes": (c.bytes_read + c.bytes_written + c.bytes_irregular) / steps,
             "comm_bytes": c.comm_bytes / steps,
             "launches": c.kernel_launches / steps,
+            "flat_launches": c.flat_launches / steps,
             "mac_evals": c.mac_evals / steps,
             "pairs_deferred": c.pairs_deferred / steps,
             "pairs_accepted_cc": c.pairs_accepted_cc / steps,
+            "n3l_dedup": (c.near_pairs_naive / c.near_pairs_evaluated
+                          if c.near_pairs_evaluated > 0 else 0.0),
         }
+        naive_sum += c.near_pairs_naive
+        eval_sum += c.near_pairs_evaluated
         rows.append(row)
         for name in total:
-            total[name] += float(row[name])
+            if name != "n3l_dedup":
+                total[name] += float(row[name])
+    total["n3l_dedup"] = naive_sum / eval_sum if eval_sum > 0 else 0.0
     rows.append({"phase": "total", **total})
     return rows
 

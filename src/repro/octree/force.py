@@ -45,8 +45,10 @@ from repro.traversal.engine import (
     TreeView,
     account_grouped_force,
     build_interaction_lists,
+    build_self_pairs,
     evaluate_interaction_lists,
 )
+from repro.traversal.flat import build_flat_lists
 from repro.traversal.groups import make_groups
 from repro.types import FLOAT, INDEX
 
@@ -354,28 +356,57 @@ def octree_accelerations_grouped(
     groups = cached["groups"]
     lists = cached["lists"]
 
+    mode = eval_mode
+    if mode == "auto":
+        # Flat's index expansion is a per-epoch precompute: pick it
+        # only when a structure cache amortizes it, gemm otherwise.
+        if groups.max_group_size <= 1:
+            mode = "tile"
+        else:
+            mode = "flat" if cache is not None else "gemm"
+    # Per-epoch precomputes live inside the cached entry, so the
+    # maintainer's list invalidation drops them in the same stroke.
+    flat = self_pairs = None
+    if mode == "flat":
+        flat = cached.get("flat")
+        if flat is None:
+            # Bucket-leaf bodies fold into the flat near-field pools, so
+            # the scalar exact loop below is skipped in this mode.
+            flat = build_flat_lists(view, lists, groups, body_ids=perm,
+                                    exact_bodies=pool.leaf_bodies)
+            cached["flat"] = flat
+    elif mode == "gemm":
+        self_pairs = cached.get("selfpairs")
+        if self_pairs is None:
+            self_pairs = build_self_pairs(view, lists, groups,
+                                          body_ids=perm)
+            cached["selfpairs"] = self_pairs
+
+    m_sorted = np.asarray(m, dtype=FLOAT)[perm]
     acc_s, stats = evaluate_interaction_lists(
         view, lists, groups, x[perm],
-        G=params.G, eps2=params.eps2, body_ids=perm, mode=eval_mode,
+        G=params.G, eps2=params.eps2, body_ids=perm, mode=mode,
+        flat=flat, m_sorted=m_sorted, self_pairs=self_pairs,
     )
 
     # Exact expansion of bucket leaves (same scalar math as lockstep).
     pairs = stats["pairs"]
-    eps2 = params.eps2
-    G = params.G
-    go = groups.offsets
-    for g, node in zip(lists.exact_groups, lists.exact_nodes):
-        bodies = pool.leaf_bodies(int(node))
-        for row in range(int(go[g]), int(go[g + 1])):
-            i = int(perm[row])
-            for b in bodies:
-                if b == i:
-                    continue
-                d = x[b] - x[i]
-                r2b = float(d @ d) + eps2
-                if r2b > 0.0:
-                    acc_s[row] += G * m[b] * r2b**-1.5 * d
-                    pairs += 1
+    if not (flat is not None and flat.includes_exact):
+        eps2 = params.eps2
+        G = params.G
+        go = groups.offsets
+        for g, node in zip(lists.exact_groups, lists.exact_nodes):
+            bodies = pool.leaf_bodies(int(node))
+            for row in range(int(go[g]), int(go[g + 1])):
+                i = int(perm[row])
+                for b in bodies:
+                    if b == i:
+                        continue
+                    d = x[b] - x[i]
+                    r2b = float(d @ d) + eps2
+                    if r2b > 0.0:
+                        acc_s[row] += G * m[b] * r2b**-1.5 * d
+                        pairs += 1
 
     if ctx is not None:
         account_grouped_force(
@@ -384,6 +415,9 @@ def octree_accelerations_grouped(
             pairs=pairs, quad_terms=stats["quad_terms"],
             visit_bytes=view.visit_bytes, built=built,
             sort_comparisons=float(n) * float(np.log2(max(n, 2))) if built else 0.0,
+            flat_launches=stats["flat_launches"],
+            near_pairs_naive=stats["near_pairs_naive"],
+            near_pairs_evaluated=stats["near_pairs_evaluated"],
         )
 
     out = np.empty_like(acc_s)
@@ -453,29 +487,55 @@ def octree_accelerations_dual(
     groups = cached["groups"]
     dual = cached["dual"]
 
+    mode = eval_mode
+    if mode == "auto":
+        # Flat's index expansion is a per-epoch precompute: pick it
+        # only when a structure cache amortizes it, gemm otherwise.
+        if groups.max_group_size <= 1:
+            mode = "tile"
+        else:
+            mode = "flat" if cache is not None else "gemm"
+    flat = self_pairs = None
+    if mode == "flat":
+        flat = cached.get("flat")
+        if flat is None:
+            flat = build_flat_lists(view, dual.near, groups,
+                                    body_ids=perm,
+                                    exact_bodies=pool.leaf_bodies)
+            cached["flat"] = flat
+    elif mode == "gemm":
+        self_pairs = cached.get("selfpairs")
+        if self_pairs is None:
+            self_pairs = build_self_pairs(view, dual.near, groups,
+                                          body_ids=perm)
+            cached["selfpairs"] = self_pairs
+
+    m_sorted = np.asarray(m, dtype=FLOAT)[perm]
     acc_s, stats = evaluate_dual(
         view, dual, groups, x[perm],
-        G=params.G, eps2=params.eps2, body_ids=perm, mode=eval_mode,
+        G=params.G, eps2=params.eps2, body_ids=perm, mode=mode,
         expansion_order=expansion_order, ctx=ctx,
+        flat=flat, m_sorted=m_sorted, self_pairs=self_pairs,
     )
 
     # Exact expansion of bucket leaves (same scalar math as grouped).
     pairs = stats["pairs"]
-    eps2 = params.eps2
-    G = params.G
-    go = groups.offsets
-    for g, node in zip(dual.near.exact_groups, dual.near.exact_nodes):
-        bodies = pool.leaf_bodies(int(node))
-        for row in range(int(go[g]), int(go[g + 1])):
-            i = int(perm[row])
-            for b in bodies:
-                if b == i:
-                    continue
-                d = x[b] - x[i]
-                r2b = float(d @ d) + eps2
-                if r2b > 0.0:
-                    acc_s[row] += G * m[b] * r2b**-1.5 * d
-                    pairs += 1
+    if not (flat is not None and flat.includes_exact):
+        eps2 = params.eps2
+        G = params.G
+        go = groups.offsets
+        for g, node in zip(dual.near.exact_groups, dual.near.exact_nodes):
+            bodies = pool.leaf_bodies(int(node))
+            for row in range(int(go[g]), int(go[g + 1])):
+                i = int(perm[row])
+                for b in bodies:
+                    if b == i:
+                        continue
+                    d = x[b] - x[i]
+                    r2b = float(d @ d) + eps2
+                    if r2b > 0.0:
+                        acc_s[row] += G * m[b] * r2b**-1.5 * d
+                        pairs += 1
 
     if ctx is not None:
         account_dual_force(
@@ -485,6 +545,9 @@ def octree_accelerations_dual(
             quad_far=stats["quad_far"], expansion_order=expansion_order,
             visit_bytes=view.visit_bytes, built=built,
             sort_comparisons=float(n) * float(np.log2(max(n, 2))) if built else 0.0,
+            flat_launches=stats["flat_launches"],
+            near_pairs_naive=stats["near_pairs_naive"],
+            near_pairs_evaluated=stats["near_pairs_evaluated"],
         )
 
     out = np.empty_like(acc_s)

@@ -13,6 +13,10 @@ both tree strategies (octree and Hilbert BVH):
 * :mod:`repro.traversal.engine` — the generic list-building walk
   (conservative group MAC), the dense tile evaluator, and the grouped
   counter accounting;
+* :mod:`repro.traversal.flat` — the flattened-batch evaluator: lists
+  expanded once per epoch into SoA index arrays, evaluated as a few
+  large gather/scatter kernels with the symmetric near field deduped
+  Newton's-third-law style (the production host path);
 * :mod:`repro.traversal.dual` — the dual-tree cell-cell walk: a target
   tree over the groups, a symmetric MAC that retires well-separated
   cell pairs once via M2L into local expansions, and the L2L/L2P
@@ -31,9 +35,16 @@ from repro.traversal.engine import (
     KLASS_SKIP,
     InteractionLists,
     TreeView,
+    SelfPairs,
     account_grouped_force,
     build_interaction_lists,
+    build_self_pairs,
     evaluate_interaction_lists,
+)
+from repro.traversal.flat import (
+    FlatLists,
+    build_flat_lists,
+    evaluate_flat,
 )
 from repro.traversal.groups import BodyGroups, make_groups
 
@@ -52,7 +63,9 @@ from repro.traversal.dual import (  # noqa: E402
 __all__ = [
     "BodyGroups",
     "DualLists",
+    "FlatLists",
     "InteractionLists",
+    "SelfPairs",
     "TargetTree",
     "TreeView",
     "KLASS_EXACT",
@@ -62,10 +75,13 @@ __all__ = [
     "account_dual_force",
     "account_grouped_force",
     "build_dual_lists",
+    "build_flat_lists",
     "build_interaction_lists",
+    "build_self_pairs",
     "build_target_tree",
     "dual_lists_valid",
     "evaluate_dual",
+    "evaluate_flat",
     "evaluate_interaction_lists",
     "make_groups",
 ]

@@ -333,17 +333,23 @@ def evaluate_dual(
     mode: str = "auto",
     expansion_order: int = 1,
     ctx=None,
+    flat=None,
+    m_sorted: np.ndarray | None = None,
+    self_pairs=None,
 ) -> tuple[np.ndarray, dict]:
     """Near tiles + far M2L -> L2L downsweep -> L2P, at current positions.
 
-    The near side reuses :func:`evaluate_interaction_lists` unchanged.
-    When no far pair was accepted (``cc_mac = 0``) the expansion stage
-    is skipped entirely — not even zeros are added — so the result is
+    The near side reuses :func:`evaluate_interaction_lists` unchanged
+    (*flat* / *m_sorted* / *self_pairs* are forwarded to it — the
+    flattened-batch precomputes built against ``dual.near``).  When no
+    far pair was accepted (``cc_mac = 0``) the expansion stage is
+    skipped entirely — not even zeros are added — so the result is
     bit-identical to the grouped evaluation of the same lists.
     """
     acc, stats = evaluate_interaction_lists(
         view, dual.near, groups, x_sorted,
         G=G, eps2=eps2, body_ids=body_ids, mode=mode,
+        flat=flat, m_sorted=m_sorted, self_pairs=self_pairs,
     )
     stats = dict(stats)
     stats.update(m2l_terms=0, l2l_shifts=0, quad_far=0)
@@ -381,6 +387,9 @@ def account_dual_force(
     flops_per_visit: float = 8.0,
     sort_comparisons: float = 0.0,
     launches: float | None = None,
+    flat_launches: float = 0.0,
+    near_pairs_naive: float = 0.0,
+    near_pairs_evaluated: float = 0.0,
 ) -> None:
     """Charge one dual force evaluation.
 
@@ -396,6 +405,9 @@ def account_dual_force(
         pairs=pairs, quad_terms=quad_terms, visit_bytes=visit_bytes,
         built=built, flops_per_visit=flops_per_visit,
         sort_comparisons=sort_comparisons, launches=launches,
+        flat_launches=flat_launches,
+        near_pairs_naive=near_pairs_naive,
+        near_pairs_evaluated=near_pairs_evaluated,
     )
     walk = float(dual.mac_evals) if built else 0.0
     nf = float(dual.n_far)

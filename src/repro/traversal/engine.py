@@ -42,7 +42,13 @@ tile.  Two tile kernels are provided:
   ``w @ com - (sum_k w_k) x`` so the hot reduction is a BLAS matmul;
   self-interactions (a body's own leaf in the list) are explicitly
   zeroed because the expanded form would otherwise difference two huge
-  near-equal products.  This is the production path for real groups.
+  near-equal products.  Self-pair positions are precomputed once per
+  list epoch (:func:`build_self_pairs`), not rebuilt every step.
+* ``flat`` — :mod:`repro.traversal.flat`: the lists of *all* groups
+  are expanded into flat SoA index arrays once per epoch and evaluated
+  as a few large gather/scatter kernels with the symmetric near field
+  deduped Newton's-third-law style.  This is the production host path
+  for real groups (the ``auto`` default).
 """
 
 from __future__ import annotations
@@ -266,6 +272,63 @@ def build_interaction_lists(
                             exact_groups, exact_nodes, steps, theta, mac_margin)
 
 
+@dataclass(frozen=True)
+class SelfPairs:
+    """Per-group self-interaction positions in the dense gemm tiles.
+
+    ``(rows[p], cols[p])`` for ``p`` in ``offsets[g]:offsets[g+1]`` are
+    the (body row within group ``g``, entry column within its list)
+    positions whose weight the gemm kernel must zero — a body meeting
+    its own point leaf.  Precomputed once per list-build epoch by
+    :func:`build_self_pairs`; the set only changes when the lists do.
+    """
+
+    offsets: np.ndarray  # (n_groups + 1,)
+    rows: np.ndarray     # (n_pairs,) row within the group tile
+    cols: np.ndarray     # (n_pairs,) column within the group's entries
+
+
+def build_self_pairs(
+    view: TreeView,
+    lists: InteractionLists,
+    groups: BodyGroups,
+    *,
+    body_ids: np.ndarray | None = None,
+) -> SelfPairs:
+    """Locate every (group row, list column) self-interaction once.
+
+    Vectorized over all entries: map each direct entry's point-body id
+    back to its sorted row (via the inverse of ``body_ids``; foreign /
+    out-of-range ids never match) and keep those landing inside their
+    own group's row range.
+    """
+    ng = lists.n_groups
+    pb = view.point_body[lists.nodes].astype(np.int64)
+    if body_ids is None:
+        src = pb  # ids are already sorted rows
+    else:
+        ids = np.asarray(body_ids, dtype=np.int64)
+        ok = ids >= 0
+        size = int(ids[ok].max(initial=-1)) + 1
+        row_of = np.full(max(size, 1), -1, dtype=np.int64)
+        row_of[ids[ok]] = np.nonzero(ok)[0]
+        src = np.full(pb.shape[0], -1, dtype=np.int64)
+        cand = (pb >= 0) & (pb < row_of.shape[0])
+        src[cand] = row_of[pb[cand]]
+    counts = np.diff(lists.offsets).astype(np.int64)
+    entry_group = np.repeat(np.arange(ng, dtype=np.int64), counts)
+    go = groups.offsets.astype(np.int64)
+    inside = ((src >= go[entry_group]) & (src < go[entry_group + 1])
+              & (src >= 0))
+    e = np.nonzero(inside)[0]
+    g_e = entry_group[e]
+    rows = (src[e] - go[g_e]).astype(INDEX)
+    cols = (e - lists.offsets.astype(np.int64)[g_e]).astype(INDEX)
+    offsets = np.zeros(ng + 1, dtype=INDEX)
+    np.cumsum(np.bincount(g_e, minlength=ng), out=offsets[1:])
+    return SelfPairs(offsets, rows, cols)
+
+
 def evaluate_interaction_lists(
     view: TreeView,
     lists: InteractionLists,
@@ -276,52 +339,107 @@ def evaluate_interaction_lists(
     eps2: float = 0.0,
     body_ids: np.ndarray | None = None,
     mode: str = "auto",
+    flat=None,
+    m_sorted: np.ndarray | None = None,
+    self_pairs: SelfPairs | None = None,
 ) -> tuple[np.ndarray, dict]:
-    """Dense tile evaluation of the cached lists at current positions.
+    """Evaluation of the cached lists at current positions.
 
     Returns accelerations in sorted-row order plus an eval-stats dict
-    (``pairs`` evaluated, nonzero ``interactions``, ``quad_terms``).
+    (``pairs`` evaluated, nonzero ``interactions``, ``quad_terms``,
+    plus the flat-mode ``flat_launches`` / ``near_pairs_naive`` /
+    ``near_pairs_evaluated``, zero for the tile kernels).
     ``body_ids`` maps sorted rows into ``view.point_body``'s id space
     (identity when omitted); ``mode`` is ``"tile"`` (bit-compatible
-    sequential reduction), ``"gemm"`` (BLAS), or ``"auto"`` (tile only
-    for the degenerate one-body groups whose contract is exactness).
+    sequential reduction), ``"gemm"`` (BLAS), ``"flat"`` (flattened
+    SoA batch kernels with n3l near-field dedup — see
+    :mod:`repro.traversal.flat`), or ``"auto"`` (tile only for the
+    degenerate one-body groups whose contract is exactness, flat
+    otherwise).  *flat* / *self_pairs* are the per-epoch precomputes
+    (built on the fly when omitted — callers with a structure cache
+    should pass them); *m_sorted* (masses in sorted-row order) enables
+    the n3l dedup in flat mode.
     """
     x_sorted = np.asarray(x_sorted, dtype=FLOAT)
     n, dim = x_sorted.shape
     acc = np.zeros((n, dim), dtype=FLOAT)
     if mode == "auto":
-        mode = "tile" if groups.max_group_size <= 1 else "gemm"
-    if mode not in ("tile", "gemm"):
+        # Flat only pays when its one-time index expansion is amortized
+        # across an epoch: pick it when the caller hands in a cached
+        # FlatLists, gemm otherwise (tile for degenerate groups).
+        if groups.max_group_size <= 1:
+            mode = "tile"
+        else:
+            mode = "flat" if flat is not None else "gemm"
+    if mode not in ("tile", "gemm", "flat"):
         raise ValueError(f"unknown eval mode {mode!r}")
+
+    if mode == "flat":
+        # Deferred import: flat builds on the engine's data structures.
+        from repro.traversal.flat import build_flat_lists, evaluate_flat
+        if flat is None:
+            flat = build_flat_lists(view, lists, groups,
+                                    body_ids=body_ids,
+                                    n3l=m_sorted is not None)
+        return evaluate_flat(view, flat, x_sorted,
+                             G=G, eps2=eps2, m_sorted=m_sorted)
 
     off = lists.offsets
     go = groups.offsets
     com = view.com
     mass = view.mass
     quad = view.quad
-    point_body = view.point_body
     pairs = 0
     nonzero = 0
     quad_terms = 0
+    ng = groups.n_groups
+    # Hoisted once: item access on numpy scalars inside the loop is a
+    # measurable share of small-group eval time.
+    off_l = off.tolist()
+    go_l = go.tolist()
 
-    for g in range(groups.n_groups):
-        lo_e, hi_e = int(off[g]), int(off[g + 1])
+    if mode == "gemm" and self_pairs is None:
+        self_pairs = build_self_pairs(view, lists, groups,
+                                      body_ids=body_ids)
+
+    if mode == "tile":
+        # Scratch pools sized for the largest tile, reused across
+        # groups; flat (b*k) slices keep every view contiguous.
+        bmax = groups.max_group_size
+        kmax = int(np.diff(off).max(initial=0))
+        cap = bmax * kmax
+        dpool = np.empty((cap, dim), dtype=FLOAT)
+        opool = np.empty((cap, dim), dtype=FLOAT)
+        r2pool = np.empty(cap, dtype=FLOAT)
+        cpool = np.empty(cap, dtype=FLOAT)
+        wpool = np.empty(cap, dtype=FLOAT)
+        mpool = np.empty(cap, dtype=bool)
+
+    for g in range(ng):
+        lo_e, hi_e = off_l[g], off_l[g + 1]
         if hi_e == lo_e:
             continue
         nodes = lists.nodes[lo_e:hi_e]
-        xg = x_sorted[int(go[g]):int(go[g + 1])]
-        b, k = xg.shape[0], nodes.shape[0]
+        r0, r1 = go_l[g], go_l[g + 1]
+        xg = x_sorted[r0:r1]
+        b, k = r1 - r0, hi_e - lo_e
         cn = com[nodes]
         mn = mass[nodes]
 
         if mode == "tile":
-            dvec = cn[None, :, :] - xg[:, None, :]
-            flat = dvec.reshape(-1, dim)
-            r2 = np.einsum("ij,ij->i", flat, flat).reshape(b, k)
-            r2c = r2 + eps2
+            bk = b * k
+            dvec = np.subtract(cn[None, :, :], xg[:, None, :],
+                               out=dpool[:bk].reshape(b, k, dim))
+            r2 = np.einsum("ij,ij->i", dpool[:bk], dpool[:bk],
+                           out=r2pool[:bk]).reshape(b, k)
+            r2c = np.add(r2, eps2, out=cpool[:bk].reshape(b, k))
             with np.errstate(divide="ignore", invalid="ignore"):
-                w = np.where(r2c > 0.0, G * mn * r2c ** -1.5, 0.0)
-            contrib = w[:, :, None] * dvec
+                w = np.power(r2c, -1.5, out=wpool[:bk].reshape(b, k))
+                np.multiply(G * mn, w, out=w)
+            np.less_equal(r2c, 0.0, out=mpool[:bk].reshape(b, k))
+            np.copyto(w, 0.0, where=mpool[:bk].reshape(b, k))
+            contrib = np.multiply(w[:, :, None], dvec,
+                                  out=opool[:bk].reshape(b, k, dim))
             if quad is not None:
                 ap = lists.approx[lo_e:hi_e]
                 kq = int(np.count_nonzero(ap))
@@ -337,7 +455,7 @@ def evaluate_interaction_lists(
                     quad_terms += b * kq
             # The reduced axis is strided, so numpy accumulates it
             # sequentially — the same order as the lockstep rounds.
-            acc[int(go[g]):int(go[g + 1])] = contrib.sum(axis=1)
+            np.sum(contrib, axis=1, out=acc[r0:r1])
         else:
             x2 = np.einsum("ij,ij->i", xg, xg)
             c2 = np.einsum("ij,ij->i", cn, cn)
@@ -346,14 +464,9 @@ def evaluate_interaction_lists(
             r2c = r2 + eps2
             with np.errstate(divide="ignore", invalid="ignore"):
                 w = np.where(r2c > 0.0, G * mn * r2c ** -1.5, 0.0)
-            if body_ids is not None:
-                ids = body_ids[int(go[g]):int(go[g + 1])]
-            else:
-                ids = np.arange(int(go[g]), int(go[g + 1]))
-            self_rows, self_cols = np.nonzero(
-                ids[:, None] == point_body[nodes][None, :]
-            )
-            w[self_rows, self_cols] = 0.0
+            sp0, sp1 = int(self_pairs.offsets[g]), int(
+                self_pairs.offsets[g + 1])
+            w[self_pairs.rows[sp0:sp1], self_pairs.cols[sp0:sp1]] = 0.0
             acc_g = w @ cn - w.sum(axis=1)[:, None] * xg
             if quad is not None:
                 ap = lists.approx[lo_e:hi_e]
@@ -369,13 +482,14 @@ def evaluate_interaction_lists(
                         b, kq, dim
                     ).sum(axis=1)
                     quad_terms += b * kq
-            acc[int(go[g]):int(go[g + 1])] = acc_g
+            acc[r0:r1] = acc_g
 
         pairs += b * k
         nonzero += int(np.count_nonzero(w))
 
     return acc, {"pairs": pairs, "interactions": nonzero,
-                 "quad_terms": quad_terms}
+                 "quad_terms": quad_terms, "flat_launches": 0,
+                 "near_pairs_naive": 0, "near_pairs_evaluated": 0}
 
 
 def account_grouped_force(
@@ -393,6 +507,9 @@ def account_grouped_force(
     flops_per_visit: float = 8.0,
     sort_comparisons: float = 0.0,
     launches: float | None = None,
+    flat_launches: float = 0.0,
+    near_pairs_naive: float = 0.0,
+    near_pairs_evaluated: float = 0.0,
 ) -> None:
     """Charge a grouped force evaluation (list-build vs list-eval split).
 
@@ -439,4 +556,7 @@ def account_grouped_force(
         loop_iterations=float(groups.n_groups + n_bodies),
         kernel_launches=(2.0 if built else 1.0) if launches is None else launches,
         sort_comparisons=sort_comparisons,
+        flat_launches=flat_launches,
+        near_pairs_naive=near_pairs_naive,
+        near_pairs_evaluated=near_pairs_evaluated,
     )

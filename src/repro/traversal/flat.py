@@ -1,0 +1,680 @@
+"""Flattened CSR batch evaluation of cached interaction lists.
+
+The per-group tile kernels of :mod:`repro.traversal.engine` pay a
+Python-loop iteration plus a handful of small-array temporaries for
+every group.  At production group sizes that loop — not the arithmetic
+— dominates *host* wall-clock.  This module trades it for a few large
+structure-of-arrays kernels:
+
+* **Flattening** — at list-build time each group's ``(offsets, nodes)``
+  CSR rows are expanded into flat ``(row, node)`` index pairs (one per
+  body x list entry), so a whole evaluation becomes gather / axpy /
+  scatter over arrays with millions of entries instead of thousands of
+  tiny tiles.  The expansion is *row-major* (all of one body's sources
+  are consecutive), so the scatter back into the acceleration array is
+  a contiguous segment reduction.  The expansion is pure indexing; it
+  is cached alongside the lists in the structure cache and survives
+  refits unchanged (only *indices* are cached — masses and centres of
+  mass are gathered from the live
+  :class:`~repro.traversal.engine.TreeView` every step).
+
+* **Newton's third law** — direct body-body work (point leaves and,
+  for the octree, bucket-leaf bodies) appears in ordered form: group
+  ``i``'s list names body ``j`` *and* group ``j``'s list names body
+  ``i``.  Each ordered pair occurs at most once (a node appears at most
+  once per group list; every body lives in exactly one leaf), so after
+  canonicalizing by ``(min, max)`` an unordered pair has multiplicity
+  one or two.  Pairs seen from both sides are evaluated once and the
+  force scatter-accumulated to *both* bodies with opposite sign —
+  halving that share of the near-field inverse-square-root work.
+  One-sided pairs (the partner was absorbed into an accepted multipole
+  on the other side) keep their original orientation.
+
+* **Scatter determinism** — the target-side reduction uses
+  ``np.add.reduceat`` over row-sorted segments and the reaction-side
+  scatter uses ``np.bincount``; both accumulate in index order
+  deterministically (unlike a parallel ``np.add.at``), so flat
+  evaluation is bitwise reproducible run to run.  Their summation
+  order differs from the tile kernel's per-group order, so flat matches
+  tile only to rounding (~1e-15 relative); the tile mode remains the
+  bit-exactness reference against the lockstep kernels.
+
+Kernels stream over fixed-size blocks (:data:`BLOCK` pairs) through
+preallocated scratch pools sized to stay cache-resident, so the only
+per-pair DRAM traffic in steady state is the int32 index streams;
+steady-state steps allocate nothing proportional to the pair count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.physics.multipole import quadrupole_accel
+from repro.traversal.engine import InteractionLists, TreeView
+from repro.traversal.groups import BodyGroups
+from repro.types import FLOAT, INDEX
+
+#: Pairs per kernel block.  Chosen so one block's float scratch
+#: (~90 bytes/pair) fits in the last-level cache with room to spare:
+#: the per-pair temporaries then never round-trip through DRAM and the
+#: only streaming traffic is the index arrays themselves.
+BLOCK = 1 << 15
+
+
+def _idx_dtype(bound: int):
+    """Narrowest index dtype covering ``[0, bound)`` — int32 halves the
+    streamed bytes per pair, which is the dominant DRAM traffic."""
+    return np.int32 if bound <= np.iinfo(np.int32).max else np.int64
+
+
+@dataclass(frozen=True)
+class Segments:
+    """Run-length view of a sorted target-index array.
+
+    ``starts[i]`` is the pool position where the run of ``rows[i]``
+    begins; runs are maximal, so ``rows`` is strictly increasing and
+    ``starts[0] == 0``.  :func:`_segment_add` turns a block of per-pair
+    contributions into one ``np.add.reduceat`` over these boundaries.
+    """
+
+    starts: np.ndarray
+    rows: np.ndarray
+
+
+def _segments(idx_sorted: np.ndarray) -> Segments:
+    if idx_sorted.shape[0] == 0:
+        z = np.empty(0, dtype=np.int64)
+        return Segments(z, z.copy())
+    first = np.empty(idx_sorted.shape[0], dtype=bool)
+    first[0] = True
+    np.not_equal(idx_sorted[1:], idx_sorted[:-1], out=first[1:])
+    starts = np.nonzero(first)[0]
+    return Segments(starts, idx_sorted[starts].astype(np.int64))
+
+
+def _segment_add(acc: np.ndarray, contrib: np.ndarray, p0: int,
+                 segs: Segments, sign: float = 1.0) -> None:
+    """``acc[row] += sign * contrib`` for the block at pool offset *p0*.
+
+    Block boundaries need not align with segment boundaries: a run
+    split across blocks contributes partial sums to the same row from
+    each block.  Rows within one block are unique, so the final fancy
+    add is well-defined (and, like ``reduceat``, index-ordered).
+    """
+    b = contrib.shape[0]
+    j0 = int(np.searchsorted(segs.starts, p0, side="right")) - 1
+    j1 = int(np.searchsorted(segs.starts, p0 + b, side="left"))
+    bnd = segs.starts[j0:j1] - p0
+    if bnd[0] < 0:
+        bnd[0] = 0  # fresh slice-difference array; safe to clamp
+    out = np.add.reduceat(contrib, bnd, axis=0)
+    if sign >= 0.0:
+        acc[segs.rows[j0:j1]] += out
+    else:
+        acc[segs.rows[j0:j1]] -= out
+
+
+@dataclass(frozen=True)
+class DenseBucket:
+    """A batch of groups with similar approx-list lengths, padded to a
+    common width ``K`` for one 3-D batched evaluation.
+
+    ``node_mat[i, :]`` holds group ``i``'s accepted nodes padded with a
+    sentinel node (zero mass, far-away centre) and ``row_mat[i, :]`` its
+    member rows padded with a sentinel row, so the whole bucket runs as
+    a handful of ``(chunk, B, K)`` dense kernels — the gemm algebra
+    without its per-group Python loop.  ``n_real`` counts the unpadded
+    (row, node) slots for the interaction counters.
+    """
+
+    node_mat: np.ndarray  # (G_b, K) int
+    row_mat: np.ndarray   # (G_b, B) int
+    n_real: int
+
+
+@dataclass
+class FlatLists:
+    """One epoch's interaction lists, flattened to SoA index arrays.
+
+    Three pair pools, all in sorted-row space and row-major (sorted by
+    target row, so the target-side scatter is a segment reduction):
+
+    * node sources ``(a_row, a_node)`` — accepted multipoles (and, when
+      n3l is off, direct leaves folded in as monopole nodes);
+    * two-sided body pairs ``(s_t, s_s)`` with ``s_t < s_s`` — near
+      pairs seen from both sides, evaluated once, scattered to both;
+    * one-sided body pairs ``(o_t, o_s)`` — near pairs whose mirror was
+      approximated away; original orientation, target side only.
+
+    Only index arrays are cached: masses / centres of mass are gathered
+    from the live tree view at evaluation time, so a refit that rewrites
+    ``view.com`` / ``view.mass`` needs no flat rebuild.
+    """
+
+    a_row: np.ndarray
+    a_node: np.ndarray
+    #: Positions in the ``a_*`` pool carrying quadrupole terms, or
+    #: ``None`` when every entry does (the pool is purely approx).
+    a_quad: np.ndarray | None
+    a_segs: Segments
+    s_t: np.ndarray
+    s_s: np.ndarray
+    s_segs: Segments
+    o_t: np.ndarray
+    o_s: np.ndarray
+    o_segs: Segments
+    #: Ordered near-field body pairs before dedup (self pairs excluded);
+    #: ``pairs_naive / pairs_evaluated`` is the n3l dedup ratio.
+    pairs_naive: int
+    #: True when bucket-leaf (KLASS_EXACT) bodies were folded into the
+    #: body pools, letting the caller skip its scalar exact loop.
+    includes_exact: bool
+    #: Dense-batch form of the node-source pool (monopole trees only):
+    #: when set, the ``a_*`` arrays are empty and the node sources run
+    #: through :class:`DenseBucket` batches instead of the streaming
+    #: gather/scatter kernel.
+    a_dense: list | None = None
+    _scratch: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n_node_pairs(self) -> int:
+        if self.a_dense is not None:
+            return sum(b.n_real for b in self.a_dense)
+        return int(self.a_row.shape[0])
+
+    @property
+    def n_two_sided(self) -> int:
+        return int(self.s_t.shape[0])
+
+    @property
+    def n_one_sided(self) -> int:
+        return int(self.o_t.shape[0])
+
+    @property
+    def pairs_evaluated(self) -> int:
+        """Deduped near-field pair evaluations per step."""
+        return self.n_two_sided + self.n_one_sided
+
+    def buf(self, name: str, shape: tuple, dtype=FLOAT) -> np.ndarray:
+        """Named scratch buffer, allocated once and reused across steps."""
+        b = self._scratch.get(name)
+        if b is None or b.shape != tuple(shape) or b.dtype != dtype:
+            b = np.empty(shape, dtype=dtype)
+            self._scratch[name] = b
+        return b
+
+
+def _row_major_expand(
+    sub_nodes: np.ndarray,
+    sub_counts: np.ndarray,
+    grow: np.ndarray,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Expand a per-group entry subset into row-major flat pairs.
+
+    *sub_nodes* holds the subset's entries concatenated in group order,
+    *sub_counts* the per-group subset sizes, *grow* the group of each
+    sorted row.  Returns ``(row, pos, rc)`` where ``row[i]`` is the
+    target row of flat pair ``i`` (sorted ascending), ``pos[i]`` indexes
+    into *sub_nodes*, and ``rc`` is the per-row pair count.  The caller
+    gathers ``sub_nodes[pos]`` (and any parallel entry array) itself.
+    """
+    suboff = np.concatenate(
+        ([0], np.cumsum(sub_counts, dtype=np.int64)))
+    rc = sub_counts[grow]
+    row_ptr = np.concatenate(([0], np.cumsum(rc, dtype=np.int64)))
+    total = int(row_ptr[-1])
+    if total == 0:
+        e = np.empty(0, dtype=np.int64)
+        return e, e.copy(), rc
+    row = np.repeat(np.arange(n, dtype=np.int64), rc)
+    # pos = subset start of the row's group + offset within the row.
+    pos = np.arange(total, dtype=np.int64)
+    pos += np.repeat(suboff[grow] - row_ptr[:-1], rc)
+    return row, pos, rc
+
+
+def _dense_buckets(
+    anodes: np.ndarray,
+    ca: np.ndarray,
+    groups: BodyGroups,
+    n: int,
+    nn: int,
+) -> list:
+    """Pack per-group approx lists into padded :class:`DenseBucket`\\ s.
+
+    Groups are sorted by list length and cut into buckets whenever the
+    pad waste against the bucket's widest list would exceed ~25%, so
+    the padded slot count stays within a small factor of the real one.
+    Sentinels: node ``nn`` (zero mass, centre placed just outside the
+    occupied box so its weight is finite but multiplied away) and row
+    ``n`` (accumulates into a discarded extra row).
+    """
+    ndt = _idx_dtype(nn + 1)
+    rdt = _idx_dtype(n + 1)
+    go = groups.offsets.astype(np.int64)
+    gsz = np.diff(go)
+    bmax = int(gsz.max()) if gsz.size else 0
+    aoff = np.concatenate(([0], np.cumsum(ca, dtype=np.int64)))
+    nz = np.nonzero(ca)[0]
+    order = nz[np.argsort(ca[nz], kind="stable")][::-1]
+    buckets: list = []
+    i = 0
+    while i < order.size:
+        kmax = int(ca[order[i]])
+        j = i + 1
+        while j < order.size and int(ca[order[j]]) * 4 >= kmax * 3:
+            j += 1
+        gids = order[i:j]
+        ks = ca[gids]
+        # CSR rows -> padded matrix: gather with clipped positions,
+        # then overwrite the pad tail with the sentinel node.
+        src = aoff[gids][:, None] + np.arange(kmax, dtype=np.int64)
+        np.minimum(src, (aoff[gids] + ks - 1)[:, None], out=src)
+        node_mat = anodes[src].astype(ndt, copy=False)
+        node_mat[np.arange(kmax)[None, :] >= ks[:, None]] = nn
+        row_mat = (go[gids][:, None]
+                   + np.arange(bmax, dtype=np.int64))
+        row_mat[row_mat >= go[gids + 1][:, None]] = n
+        n_real = int((ks * gsz[gids]).sum())
+        buckets.append(DenseBucket(
+            np.ascontiguousarray(node_mat),
+            np.ascontiguousarray(row_mat.astype(rdt)), n_real))
+        i = j
+    return buckets
+
+
+def build_flat_lists(
+    view: TreeView,
+    lists: InteractionLists,
+    groups: BodyGroups,
+    *,
+    body_ids: np.ndarray | None = None,
+    exact_bodies: Callable[[int], np.ndarray] | None = None,
+    n3l: bool = True,
+) -> FlatLists:
+    """Flatten *lists* and canonicalize the near field, once per epoch.
+
+    ``body_ids`` maps sorted rows into ``view.point_body``'s id space
+    (identity when omitted).  Ids outside the local sorted range —
+    the distributed runtime's foreign-source sentinel is negative —
+    disable n3l: every entry then stays a node source, which is the
+    correct one-sided semantics for halo tiles.  ``exact_bodies`` is a
+    ``node -> body ids`` callback (octree bucket leaves); when given
+    under n3l, bucket bodies are folded into the body pools and
+    :attr:`FlatLists.includes_exact` is set.
+    """
+    n = groups.n_bodies
+    ng = lists.n_groups
+    nn = view.com.shape[0]
+    rdt = _idx_dtype(max(n, 1))
+    ndt = _idx_dtype(max(nn, 1))
+    empty = np.empty(0, dtype=rdt)
+    no_segs = _segments(np.empty(0, dtype=np.int64))
+
+    counts = np.diff(lists.offsets).astype(np.int64)
+    gsz = np.diff(groups.offsets).astype(np.int64)
+    grow = np.repeat(np.arange(ng, dtype=np.int64), gsz)
+    off = lists.offsets.astype(np.int64)
+    apref = np.concatenate(
+        ([0], np.cumsum(lists.approx, dtype=np.int64)))
+    ca = apref[off[1:]] - apref[off[:-1]]  # approx entries per group
+
+    ids = None if body_ids is None else np.asarray(body_ids)
+    foreign = ids is not None and (ids.size == 0 or bool((ids < 0).any()))
+    n3l = n3l and not foreign
+
+    if not n3l:
+        # Every entry stays a node source (direct leaves are monopoles).
+        row, pos, rc = _row_major_expand(lists.nodes, counts, grow, n)
+        a_node = lists.nodes[pos].astype(ndt)
+        if int(ca.sum()) == counts.sum():
+            a_quad = None
+        else:
+            a_quad = np.nonzero(lists.approx[pos])[0]
+        segs = Segments(
+            np.concatenate(([0], np.cumsum(rc, dtype=np.int64)))[
+                :-1][rc > 0],
+            np.nonzero(rc > 0)[0].astype(np.int64))
+        return FlatLists(
+            row.astype(rdt), a_node, a_quad, segs,
+            empty, empty, no_segs, empty, empty, no_segs,
+            pairs_naive=0, includes_exact=False,
+        )
+
+    # Sorted row of each point-leaf id (identity unless permuted).
+    row_of = None
+    if ids is not None:
+        row_of = np.empty(n, dtype=np.int64)
+        row_of[ids] = np.arange(n, dtype=np.int64)
+
+    approx = lists.approx
+    anodes = lists.nodes[approx]
+    dnodes = lists.nodes[~approx]
+
+    # ---- approx pool ------------------------------------------------
+    # Monopole trees take the dense-batch form: the whole pool becomes
+    # a few padded (groups, B, K) kernels sharing each group's node
+    # list across its rows, which keeps the per-pair arithmetic in
+    # BLAS.  With quadrupoles the per-pair displacement vectors are
+    # needed anyway, so the row-major streaming form is used instead.
+    a_dense = None
+    a_row = empty
+    a_node = np.empty(0, dtype=ndt)
+    a_segs = no_segs
+    if view.quad is None:
+        a_dense = _dense_buckets(anodes, ca, groups, n, nn)
+    else:
+        a_row64, apos, rca = _row_major_expand(anodes, ca, grow, n)
+        a_row = a_row64.astype(rdt)
+        a_node = anodes[apos].astype(ndt)
+        a_starts = np.concatenate(
+            ([0], np.cumsum(rca, dtype=np.int64)))[:-1]
+        a_segs = Segments(a_starts[rca > 0],
+                          np.nonzero(rca > 0)[0].astype(np.int64))
+        del a_row64, apos
+
+    # ---- direct pairs (ordered, target-major) -----------------------
+    t, dpos, _ = _row_major_expand(dnodes, counts - ca, grow, n)
+    s = view.point_body[dnodes[dpos]].astype(np.int64)
+    if row_of is not None:
+        s = row_of[s]
+    del dpos
+
+    if exact_bodies is not None and lists.exact_groups.size:
+        go = groups.offsets
+        ex_t: list[np.ndarray] = [t]
+        ex_s: list[np.ndarray] = [s]
+        for g, node in zip(lists.exact_groups, lists.exact_nodes):
+            bodies = np.asarray(exact_bodies(int(node)), dtype=np.int64)
+            if bodies.size == 0:
+                continue
+            rows = np.arange(int(go[g]), int(go[g + 1]), dtype=np.int64)
+            srows = bodies if row_of is None else row_of[bodies]
+            ex_t.append(np.repeat(rows, srows.size))
+            ex_s.append(np.tile(srows, rows.size))
+        t = np.concatenate(ex_t)
+        s = np.concatenate(ex_s)
+    includes_exact = exact_bodies is not None
+
+    keep = t != s
+    t, s = t[keep], s[keep]
+    pairs_naive = int(t.size)
+
+    if t.size:
+        # Each ordered pair occurs at most once, so the canonical key
+        # (min, max) has multiplicity 1 (one-sided) or 2 (two-sided).
+        kdt = _idx_dtype(n * n)  # n is a Python int: n*n is exact
+        lo = np.minimum(t, s)
+        hi = np.maximum(t, s)
+        key = (lo * np.int64(n) + hi).astype(kdt, copy=False)
+        order = np.argsort(key, kind="stable")
+        k = key[order]
+        first = np.empty(k.size, dtype=bool)
+        first[0] = True
+        np.not_equal(k[1:], k[:-1], out=first[1:])
+        dup_next = np.zeros(k.size, dtype=bool)
+        np.equal(k[1:], k[:-1], out=dup_next[:-1])
+        two = order[first & dup_next]
+        one = order[first & ~dup_next]
+        # Two-sided pool: keyed order is (lo, hi)-sorted, so s_t = lo
+        # is already ascending.  One-sided pairs keep their original
+        # orientation; re-sort them by target for the segment scatter.
+        s_t, s_s = lo[two], hi[two]
+        o_t, o_s = t[one], s[one]
+        oorder = np.argsort(o_t.astype(rdt, copy=False), kind="stable")
+        o_t, o_s = o_t[oorder], o_s[oorder]
+    else:
+        s_t = s_s = o_t = o_s = np.empty(0, dtype=np.int64)
+
+    return FlatLists(
+        a_row, a_node, None, a_segs,
+        s_t.astype(rdt), s_s.astype(rdt), _segments(s_t),
+        o_t.astype(rdt), o_s.astype(rdt), _segments(o_t),
+        pairs_naive=pairs_naive, includes_exact=includes_exact,
+        a_dense=a_dense,
+    )
+
+
+def evaluate_flat(
+    view: TreeView,
+    flat: FlatLists,
+    x_sorted: np.ndarray,
+    *,
+    G: float = 1.0,
+    eps2: float = 0.0,
+    m_sorted: np.ndarray | None = None,
+) -> tuple[np.ndarray, dict]:
+    """Evaluate flattened lists at current positions (sorted order).
+
+    Three batch kernels — node sources, two-sided body pairs, one-sided
+    body pairs — each streaming :data:`BLOCK` pairs at a time through
+    *flat*'s scratch pools.  ``m_sorted`` (body masses in sorted order)
+    is required whenever the body pools are non-empty.  Returns the
+    accelerations plus the eval-stats dict of
+    :func:`~repro.traversal.engine.evaluate_interaction_lists`, extended
+    with ``flat_launches`` / ``near_pairs_naive`` /
+    ``near_pairs_evaluated``.
+    """
+    x_sorted = np.asarray(x_sorted, dtype=FLOAT)
+    n, dim = x_sorted.shape
+    acc = np.zeros((n, dim), dtype=FLOAT)
+    n_two = flat.n_two_sided
+    n_one = flat.n_one_sided
+    if m_sorted is None and (n_two or n_one):
+        raise ValueError(
+            "flat lists carry body pairs; evaluate_flat needs m_sorted")
+
+    com, mass, quad = view.com, view.mass, view.quad
+    softened = eps2 > 0.0
+    launches = 0
+    nonzero = 0
+    quad_terms = 0
+
+    # G folded into the gathered masses: one multiply per *node/body*,
+    # not per pair.
+    gm = flat.buf("gm", (mass.shape[0],))
+    np.multiply(mass, G, out=gm)
+    gms = None
+    if m_sorted is not None and (n_two or n_one):
+        gms = flat.buf("gms", (n,))
+        np.multiply(np.asarray(m_sorted, dtype=FLOAT), G, out=gms)
+
+    d = flat.buf("d", (BLOCK, dim))
+    d2 = flat.buf("d2", (BLOCK, dim))
+    xb = flat.buf("x", (BLOCK, dim))
+    r2 = flat.buf("r2", (BLOCK,))
+    w = flat.buf("w", (BLOCK,))
+    mb = flat.buf("m", (BLOCK,))
+    mb2 = flat.buf("m2", (BLOCK,))
+    tmp = flat.buf("tmp", (BLOCK,))
+    mask = flat.buf("mask", (BLOCK,), dtype=bool)
+
+    # ---- node sources, dense batches (monopole trees) ---------------
+    na = flat.n_node_pairs
+    if flat.a_dense:
+        nn = com.shape[0]
+        com_ext = flat.buf("com_ext", (nn + 1, dim))
+        com_ext[:nn] = com
+        # Pad-node centre: outside the occupied box so r2 >= 1 for
+        # every row, but of the same magnitude as the data — extreme
+        # values would push ``pow`` onto its (~30x slower) slow path.
+        # The pad's zero mass is what actually cancels its weight.
+        lo = x_sorted.min(axis=0)
+        hi = x_sorted.max(axis=0)
+        com_ext[nn] = hi + (hi - lo) + 1.0
+        gme = flat.buf("gm_ext", (nn + 1,))
+        gme[:nn] = gm
+        gme[nn] = 0.0
+        x_ext = flat.buf("x_ext", (n + 1, dim))
+        x_ext[:n] = x_sorted
+        x_ext[n] = 0.0
+        acc_ext = flat.buf("acc_ext", (n + 1, dim))
+        acc_ext[:] = 0.0
+        for bucket in flat.a_dense:
+            launches += 1
+            gb, K = bucket.node_mat.shape
+            B = bucket.row_mat.shape[1]
+            gc = max(1, (1 << 18) // (B * K))  # ~2 MB chunk scratch
+            gc = min(gc, gb)
+            P = flat.buf(f"dP{B}x{K}", (gc, B, K))
+            C = flat.buf(f"dC{K}", (gc, K, dim))
+            MN = flat.buf(f"dM{K}", (gc, K))
+            c2 = flat.buf(f"dc2{K}", (gc, K))
+            X = flat.buf(f"dX{B}", (gc, B, dim))
+            F = flat.buf(f"dF{B}", (gc, B, dim))
+            x2 = flat.buf(f"dx2{B}", (gc, B))
+            msk = None
+            if not softened:
+                msk = flat.buf(f"dK{B}x{K}", (gc, B, K), dtype=bool)
+            for c0 in range(0, gb, gc):
+                c1 = min(gb, c0 + gc)
+                g = c1 - c0
+                nm = bucket.node_mat[c0:c1]
+                rm = bucket.row_mat[c0:c1]
+                Cg, Pg, Xg, Fg = C[:g], P[:g], X[:g], F[:g]
+                np.take(com_ext, nm, axis=0, out=Cg)
+                np.take(gme, nm, out=MN[:g])
+                np.einsum("gkj,gkj->gk", Cg, Cg, out=c2[:g])
+                np.take(x_ext, rm, axis=0, out=Xg)
+                np.einsum("gbj,gbj->gb", Xg, Xg, out=x2[:g])
+                x2[:g] += eps2
+                np.matmul(Xg, Cg.transpose(0, 2, 1), out=Pg)
+                Pg *= -2.0
+                Pg += x2[:g, :, None]
+                Pg += c2[:g, None, :]
+                # max(r2, 0) + eps2 == max(r2 + eps2, eps2): clamp the
+                # rare negative cancellation like the gemm kernel does.
+                np.maximum(Pg, eps2, out=Pg)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    if msk is not None:
+                        np.less_equal(Pg, 0.0, out=msk[:g])
+                    np.power(Pg, -1.5, out=Pg)
+                Pg *= MN[:g, None, :]
+                if msk is not None:
+                    np.copyto(Pg, 0.0, where=msk[:g])
+                    nonzero += int(np.count_nonzero(Pg))
+                np.matmul(Pg, Cg, out=Fg)
+                np.einsum("gbk->gb", Pg, out=x2[:g])  # w row-sums
+                Xg *= x2[:g, :, None]
+                Fg -= Xg
+                acc_ext[rm] += Fg
+        if softened:
+            nonzero += na
+        acc += acc_ext[:n]
+
+    # ---- node sources: acc[row] += G m_node w (com - x) -------------
+    n_stream = int(flat.a_row.shape[0])
+    if n_stream:
+        launches += 1
+        qi = flat.a_quad  # None: every entry carries a quadrupole
+        for s0 in range(0, n_stream, BLOCK):
+            s1 = min(n_stream, s0 + BLOCK)
+            b = s1 - s0
+            rows = flat.a_row[s0:s1]
+            nodes = flat.a_node[s0:s1]
+            db, xbb, r2b, wb = d[:b], xb[:b], r2[:b], w[:b]
+            np.take(com, nodes, axis=0, out=db)
+            np.take(x_sorted, rows, axis=0, out=xbb)
+            db -= xbb
+            np.einsum("ij,ij->i", db, db, out=r2b)
+            r2b += eps2
+            np.take(gm, nodes, out=mb[:b])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.power(r2b, -1.5, out=wb)
+            wb *= mb[:b]
+            if softened:
+                nonzero += b
+            else:
+                np.less_equal(r2b, 0.0, out=mask[:b])
+                np.copyto(wb, 0.0, where=mask[:b])
+                nonzero += b - int(np.count_nonzero(mask[:b]))
+            qa = None
+            qsel: slice | np.ndarray = slice(None)
+            if quad is not None:
+                if qi is None:
+                    qa = quadrupole_accel(db, r2b, quad[nodes], G)
+                    quad_terms += b
+                else:
+                    j0, j1 = np.searchsorted(qi, [s0, s1])
+                    if j1 > j0:
+                        qsel = qi[j0:j1] - s0
+                        qa = quadrupole_accel(
+                            db[qsel], r2b[qsel], quad[nodes[qsel]], G)
+                        quad_terms += int(j1 - j0)
+            db *= wb[:, None]
+            if qa is not None:
+                db[qsel] += qa
+            _segment_add(acc, db, s0, flat.a_segs)
+
+    # ---- two-sided pairs: one evaluation, both bodies ---------------
+    if n_two:
+        launches += 1
+        for s0 in range(0, n_two, BLOCK):
+            s1 = min(n_two, s0 + BLOCK)
+            b = s1 - s0
+            ti = flat.s_t[s0:s1]
+            si = flat.s_s[s0:s1]
+            db, xbb, r2b, wb = d[:b], xb[:b], r2[:b], w[:b]
+            np.take(x_sorted, si, axis=0, out=db)
+            np.take(x_sorted, ti, axis=0, out=xbb)
+            db -= xbb
+            np.einsum("ij,ij->i", db, db, out=r2b)
+            r2b += eps2
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.power(r2b, -1.5, out=wb)  # mass-free kernel
+            if softened:
+                nonzero += 2 * b
+            else:
+                np.less_equal(r2b, 0.0, out=mask[:b])
+                np.copyto(wb, 0.0, where=mask[:b])
+                nonzero += 2 * (b - int(np.count_nonzero(mask[:b])))
+            db *= wb[:, None]
+            np.take(gms, ti, out=mb[:b])   # G m_t
+            np.take(gms, si, out=mb2[:b])  # G m_s
+            np.multiply(db, mb2[:b, None], out=d2[:b])
+            _segment_add(acc, d2[:b], s0, flat.s_segs)
+            np.multiply(db, mb[:b, None], out=d2[:b])
+            for j in range(dim):
+                np.copyto(tmp[:b], d2[:b, j])
+                acc[:, j] -= np.bincount(si, weights=tmp[:b],
+                                         minlength=n)
+
+    # ---- one-sided pairs: target side only --------------------------
+    if n_one:
+        launches += 1
+        for s0 in range(0, n_one, BLOCK):
+            s1 = min(n_one, s0 + BLOCK)
+            b = s1 - s0
+            ti = flat.o_t[s0:s1]
+            si = flat.o_s[s0:s1]
+            db, xbb, r2b, wb = d[:b], xb[:b], r2[:b], w[:b]
+            np.take(x_sorted, si, axis=0, out=db)
+            np.take(x_sorted, ti, axis=0, out=xbb)
+            db -= xbb
+            np.einsum("ij,ij->i", db, db, out=r2b)
+            r2b += eps2
+            np.take(gms, si, out=mb[:b])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                np.power(r2b, -1.5, out=wb)
+            wb *= mb[:b]
+            if softened:
+                nonzero += b
+            else:
+                np.less_equal(r2b, 0.0, out=mask[:b])
+                np.copyto(wb, 0.0, where=mask[:b])
+                nonzero += b - int(np.count_nonzero(mask[:b]))
+            db *= wb[:, None]
+            _segment_add(acc, db, s0, flat.o_segs)
+
+    return acc, {
+        "pairs": na + n_two + n_one,
+        "interactions": nonzero,
+        "quad_terms": quad_terms,
+        "flat_launches": launches,
+        "near_pairs_naive": flat.pairs_naive,
+        "near_pairs_evaluated": n_two + n_one,
+    }

@@ -1,0 +1,243 @@
+"""Flattened batch evaluation (:mod:`repro.traversal.flat`).
+
+The flat evaluator is a pure re-execution strategy for the cached
+interaction lists: it must match the tile evaluator to float64
+round-off (the tile path is the deterministic reference), dedupe the
+symmetric near field without breaking Newton's third law, and live in
+the structure cache so list invalidation drops it in the same stroke.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.bvh.build import build_bvh
+from repro.bvh.force import bvh_accelerations_grouped, bvh_tree_view
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.octree.build_vectorized import build_octree_vectorized
+from repro.octree.force import octree_accelerations_grouped
+from repro.octree.multipoles import compute_multipoles_vectorized
+from repro.physics.accuracy import relative_l2_error
+from repro.physics.bodies import BodySystem
+from repro.physics.gravity import GravityParams
+from repro.traversal import build_flat_lists, evaluate_flat, make_groups
+from repro.traversal.engine import build_interaction_lists
+from repro.traversal.flat import Segments
+from repro.workloads import galaxy_collision
+
+RTOL = 1e-12
+
+
+def _octree(x, m, *, order=1, bits=None):
+    pool = build_octree_vectorized(x, bits=bits)
+    compute_multipoles_vectorized(pool, x, m, None, order=order)
+    return pool
+
+
+def _forces(system, **cfg_kw):
+    sys2 = BodySystem(system.x.copy(), system.v.copy(), system.m.copy())
+    sim = Simulation(sys2, SimulationConfig(**cfg_kw))
+    return sim.evaluate_forces(), sim
+
+
+class TestFlatMatchesTile:
+    """flat is a kernel-level rewrite of tile: agreement to round-off."""
+
+    @pytest.mark.parametrize("theta", [0.3, 0.7])
+    def test_bvh(self, small_cloud, soft_gravity, theta):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        tile = bvh_accelerations_grouped(bvh, soft_gravity, theta=theta,
+                                         group_size=16, eval_mode="tile")
+        flat = bvh_accelerations_grouped(bvh, soft_gravity, theta=theta,
+                                         group_size=16, eval_mode="flat")
+        assert relative_l2_error(flat, tile) < RTOL
+
+    @pytest.mark.parametrize("theta", [0.3, 0.7])
+    def test_octree(self, small_cloud, soft_gravity, theta):
+        pool = _octree(small_cloud.x, small_cloud.m)
+        kw = dict(params=soft_gravity, theta=theta, group_size=16)
+        tile = octree_accelerations_grouped(pool, small_cloud.x,
+                                            small_cloud.m, eval_mode="tile",
+                                            **kw)
+        flat = octree_accelerations_grouped(pool, small_cloud.x,
+                                            small_cloud.m, eval_mode="flat",
+                                            **kw)
+        assert relative_l2_error(flat, tile) < RTOL
+
+    def test_octree_bucket_leaves(self, soft_gravity):
+        """Coarse grid forces multi-body buckets into the exact path."""
+        rng = np.random.default_rng(7)
+        x = np.repeat(rng.random((20, 3)), 4, axis=0)
+        x += 1e-9 * rng.standard_normal(x.shape)
+        m = rng.random(x.shape[0]) + 0.1
+        pool = _octree(x, m, bits=3)
+        kw = dict(params=soft_gravity, theta=0.5, group_size=8)
+        tile = octree_accelerations_grouped(pool, x, m, eval_mode="tile", **kw)
+        flat = octree_accelerations_grouped(pool, x, m, eval_mode="flat", **kw)
+        assert relative_l2_error(flat, tile) < RTOL
+
+    def test_quadrupole_streaming_path(self, small_cloud, soft_gravity):
+        """Order-2 moments disable dense batching; the streaming node
+        kernel with its quadrupole sub-gather must still match tile."""
+        bvh = build_bvh(small_cloud.x, small_cloud.m, order=2)
+        tile = bvh_accelerations_grouped(bvh, soft_gravity, theta=0.6,
+                                         group_size=16, eval_mode="tile")
+        flat = bvh_accelerations_grouped(bvh, soft_gravity, theta=0.6,
+                                         group_size=16, eval_mode="flat")
+        assert relative_l2_error(flat, tile) < RTOL
+        view = bvh_tree_view(bvh)
+        groups = make_groups(bvh.x_sorted, 16)
+        lists = build_interaction_lists(view, groups, 0.6)
+        fl = build_flat_lists(view, lists, groups)
+        assert fl.a_dense is None  # quad trees stream, never batch dense
+
+    def test_eps2_zero(self, small_cloud):
+        """Unsoftened gravity: self pairs are excluded, not clamped."""
+        params = GravityParams(G=1.0, softening=0.0)
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        tile = bvh_accelerations_grouped(bvh, params, group_size=16,
+                                         eval_mode="tile")
+        flat = bvh_accelerations_grouped(bvh, params, group_size=16,
+                                         eval_mode="flat")
+        assert np.all(np.isfinite(flat))
+        assert relative_l2_error(flat, tile) < RTOL
+
+    def test_group_size_one(self, small_cloud, soft_gravity):
+        """Degenerate groups: every near pair is a single body pair."""
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        tile = bvh_accelerations_grouped(bvh, soft_gravity, group_size=1,
+                                         eval_mode="tile")
+        flat = bvh_accelerations_grouped(bvh, soft_gravity, group_size=1,
+                                         eval_mode="flat")
+        assert relative_l2_error(flat, tile) < RTOL
+
+    def test_auto_mode_selection(self, small_cloud, soft_gravity):
+        """auto = tile for singleton groups, flat for cached multi-body
+        groups, gemm for uncached one-shot calls."""
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        cache: dict = {}
+        auto = bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                         eval_mode="auto", cache=cache)
+        (entry,) = cache.values()
+        assert "flat" in entry  # cached multi-body groups pick flat
+        flat = bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                         eval_mode="flat")
+        assert np.array_equal(auto, flat)
+        uncached = bvh_accelerations_grouped(bvh, soft_gravity,
+                                             group_size=16, eval_mode="auto")
+        gemm = bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                         eval_mode="gemm")
+        assert np.array_equal(uncached, gemm)
+        auto1 = bvh_accelerations_grouped(bvh, soft_gravity, group_size=1,
+                                          eval_mode="auto")
+        tile1 = bvh_accelerations_grouped(bvh, soft_gravity, group_size=1,
+                                          eval_mode="tile")
+        assert np.array_equal(auto1, tile1)
+
+
+class TestNewtonThirdLaw:
+    def _flat(self, n=500, group_size=16, theta=0.5):
+        s = galaxy_collision(n, seed=11)
+        bvh = build_bvh(s.x, s.m)
+        view = bvh_tree_view(bvh)
+        groups = make_groups(bvh.x_sorted, group_size)
+        lists = build_interaction_lists(view, groups, theta)
+        return bvh, view, groups, build_flat_lists(view, lists, groups)
+
+    def test_dedup_counts(self):
+        _, _, _, fl = self._flat()
+        assert fl.pairs_evaluated == fl.n_two_sided + fl.n_one_sided
+        # naive counts ordered pairs: both orientations of every
+        # two-sided pair, one of every one-sided pair.
+        assert fl.pairs_naive == 2 * fl.n_two_sided + fl.n_one_sided
+        ratio = fl.pairs_naive / fl.pairs_evaluated
+        assert 1.0 < ratio <= 2.0
+
+    def test_two_sided_pool_conserves_momentum(self):
+        """Each deduped pair scatters an equal and opposite impulse."""
+        bvh, view, _, fl = self._flat()
+        empty_i = np.zeros(0, dtype=np.int64)
+        empty_segs = Segments(empty_i, empty_i)
+        two_only = dataclasses.replace(
+            fl, a_row=empty_i, a_node=empty_i, a_quad=None, a_segs=empty_segs,
+            o_t=empty_i, o_s=empty_i, o_segs=empty_segs,
+            a_dense=None, _scratch={})
+        assert two_only.n_two_sided > 0
+        acc, _ = evaluate_flat(view, two_only, bvh.x_sorted,
+                               G=1.0, eps2=1e-4, m_sorted=bvh.m_sorted)
+        assert np.any(acc != 0.0)
+        net = (bvh.m_sorted[:, None] * acc).sum(axis=0)
+        scale = np.abs(bvh.m_sorted[:, None] * acc).sum(axis=0).max()
+        assert np.all(np.abs(net) < 1e-12 * scale)
+
+    def test_stats_expose_dedup(self):
+        bvh, view, _, fl = self._flat()
+        _, stats = evaluate_flat(view, fl, bvh.x_sorted,
+                                 G=1.0, eps2=1e-4, m_sorted=bvh.m_sorted)
+        assert stats["near_pairs_naive"] == fl.pairs_naive
+        assert stats["near_pairs_evaluated"] == fl.pairs_evaluated
+        assert stats["flat_launches"] >= 1
+
+    def test_monopole_galaxy_uses_dense_batches(self):
+        _, _, _, fl = self._flat()
+        assert fl.a_dense is not None and len(fl.a_dense) >= 1
+        assert fl.a_row.shape[0] == 0  # node pool fully batched
+        assert fl.n_node_pairs == sum(b.n_real for b in fl.a_dense)
+
+
+class TestStructureCache:
+    def test_flat_lists_cached_and_reused(self, small_cloud, soft_gravity):
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        cache: dict = {}
+        a1 = bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                       eval_mode="flat", cache=cache)
+        (entry,) = cache.values()
+        first = entry["flat"]
+        a2 = bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                       eval_mode="flat", cache=cache)
+        assert entry["flat"] is first  # no per-step rebuild
+        assert np.array_equal(a1, a2)
+
+    def test_invalidated_with_lists(self, small_cloud, soft_gravity):
+        """The maintainer drops the whole entry on rebuild; a fresh
+        entry dict must trigger a flat rebuild, not a stale reuse."""
+        bvh = build_bvh(small_cloud.x, small_cloud.m)
+        cache: dict = {}
+        bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                  eval_mode="flat", cache=cache)
+        (entry,) = cache.values()
+        first = entry["flat"]
+        cache.clear()  # what _store_structure does on rebuild
+        bvh_accelerations_grouped(bvh, soft_gravity, group_size=16,
+                                  eval_mode="flat", cache=cache)
+        (entry2,) = cache.values()
+        assert entry2["flat"] is not first
+
+    def test_refit_epoch_reuses_flat_lists(self):
+        """Refit rewrites com/mass but not topology: the flat index
+        arrays survive the epoch and the trajectory stays sane."""
+        s = galaxy_collision(400, seed=5)
+        sim = Simulation(s, SimulationConfig(
+            algorithm="bvh", traversal="grouped", eval_mode="flat",
+            tree_update="refit", group_size=16))
+        rep = sim.run(6)
+        totals = rep.counters.total().as_dict()
+        assert totals["flat_launches"] > 0
+        assert totals["near_pairs_evaluated"] > 0
+        assert totals["near_pairs_naive"] > totals["near_pairs_evaluated"]
+        assert np.all(np.isfinite(s.x)) and np.all(np.isfinite(s.v))
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("alg", ["bvh", "octree"])
+    def test_ranks2_flat_matches_tile(self, alg):
+        s = galaxy_collision(500, seed=3)
+        tile, _ = _forces(s, algorithm=alg, traversal="grouped",
+                          eval_mode="tile", ranks=2)
+        flat, _ = _forces(s, algorithm=alg, traversal="grouped",
+                          eval_mode="flat", ranks=2)
+        assert relative_l2_error(flat, tile) < RTOL
