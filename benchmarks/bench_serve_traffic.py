@@ -1,0 +1,304 @@
+"""Serve traffic benchmark: shared-structure speedup + latency study.
+
+Drives the :mod:`repro.serve` session server with deterministic seeded
+traffic and reports, in the shared ``repro-bench-v2`` schema:
+
+* **sharing** — 8 concurrent tenants running the *identical*
+  octree-grouped query, once with the cross-session structure cache on
+  and once isolated.  The full run asserts the tentpole target:
+  >= 1.5x aggregate session throughput (steps per modeled second)
+  shared vs isolated, with bit-identical per-session results either
+  way, and reports p50/p99 session latency for both modes.
+* **mixed** — a Poisson interactive/batch/sweep mix across tenants
+  under DRR fair scheduling; one record per tenant with its p50/p99
+  latency, throttle events, and the per-tenant metrics block.
+* **determinism** — the mixed scenario runs twice (tracer attached):
+  the serialized bench records and the Perfetto trace export must be
+  byte-identical between the runs.
+
+Usage::
+
+    python benchmarks/bench_serve_traffic.py            # full run
+    python benchmarks/bench_serve_traffic.py --smoke    # quick CI check
+    pytest benchmarks/bench_serve_traffic.py            # smoke via pytest
+
+All reported quantities are modeled (deterministic); ``host_seconds``
+is fixed at 0.0 so record payloads are byte-comparable run to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.bench import BenchRecord, format_table, write_bench_json
+from repro.core.config import SimulationConfig
+from repro.obs import Tracer, chrome_trace
+from repro.serve import RequestClass, SessionServer, generate_traffic
+from repro.serve.telemetry import percentile
+
+SEED = 7
+DEVICE = "gh200"
+QUANTUM_STEPS = 2
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def _octree_cfg() -> SimulationConfig:
+    return SimulationConfig(algorithm="octree", traversal="grouped",
+                            group_size=16)
+
+
+def _mixed_classes(scale: float) -> list[RequestClass]:
+    """The interactive/batch/sweep mix, size-scaled for smoke runs."""
+    def s(n: int) -> int:
+        return max(32, int(n * scale))
+
+    return [
+        RequestClass("interactive", "plummer", n=s(192), steps=4, weight=3.0,
+                     config=_octree_cfg()),
+        RequestClass("batch", "galaxy", n=s(384), steps=8, weight=1.0,
+                     config=_octree_cfg()),
+        RequestClass("sweep", "cube", n=s(256), steps=6, weight=1.0,
+                     config=_octree_cfg()),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Scenario: identical tenants, shared vs isolated structure cache
+# ---------------------------------------------------------------------------
+def sharing_scenario(*, n: int, steps: int, tenants: int = 8) -> list[dict]:
+    specs = generate_traffic(
+        seed=SEED, tenants=tenants, sessions_per_tenant=1, identical=True,
+        classes=[RequestClass("twin", "plummer", n=n, steps=steps,
+                              config=_octree_cfg())],
+    )
+    rows = []
+    results = {}
+    for mode, cached in (("isolated", False), ("shared", True)):
+        server = SessionServer(quantum_steps=QUANTUM_STEPS,
+                               shared_cache=cached, device=DEVICE)
+        res = server.run(specs)
+        results[mode] = res
+        lats = res.latencies()
+        cache = res.cache or {}
+        rows.append({
+            "mode": mode, "n": n, "tenants": tenants,
+            "model_seconds": res.clock,
+            "steps_per_second": res.steps_per_second,
+            "latency_p50": percentile(lats, 50),
+            "latency_p99": percentile(lats, 99),
+            "cache_hit_rate": cache.get("hit_rate", 0.0),
+        })
+    # Sharing must never change the physics: per-session final-state
+    # digests are equal across modes.
+    digest = {
+        mode: {r["name"]: r["result"] for r in res.sessions}
+        for mode, res in results.items()
+    }
+    assert digest["shared"] == digest["isolated"], \
+        "shared cache changed session results"
+    speedup = (results["shared"].steps_per_second
+               / results["isolated"].steps_per_second)
+    for r in rows:
+        r["speedup"] = speedup
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Scenario: mixed-class Poisson traffic under fair scheduling
+# ---------------------------------------------------------------------------
+def mixed_scenario(
+    *, scale: float, tenants: int, sessions: int,
+    mean_interarrival: float, tracer: Tracer | None = None,
+) -> tuple[list[dict], "SessionServer", object]:
+    specs = generate_traffic(
+        seed=SEED, tenants=tenants, sessions_per_tenant=sessions,
+        classes=_mixed_classes(scale), mean_interarrival=mean_interarrival,
+    )
+    server = SessionServer(quantum_steps=QUANTUM_STEPS, device=DEVICE,
+                           tracer=tracer)
+    res = server.run(specs)
+    rows = []
+    for tenant in sorted(res.tenants):
+        t = res.tenants[tenant]
+        bodies = sum(r["n"] for r in res.sessions
+                     if r["tenant"] == tenant)
+        rows.append({
+            "tenant": tenant, "bodies": bodies,
+            "completed": t["completed"], "rejected": t["rejected"],
+            "steps": t["steps"],
+            "model_seconds": t["device_seconds"],
+            "share": t["share"],
+            "throttle_events": t["throttle_events"],
+            "latency_p50": t["latency_p50"],
+            "latency_p99": t["latency_p99"],
+        })
+    return rows, server, res
+
+
+# ---------------------------------------------------------------------------
+# Records + report
+# ---------------------------------------------------------------------------
+def _sharing_records(rows: list[dict], steps: int) -> list[BenchRecord]:
+    return [
+        BenchRecord(
+            workload="plummer", n=r["n"],
+            config={"scenario": "sharing", "mode": r["mode"],
+                    "algorithm": "octree", "traversal": "grouped",
+                    "tenants": r["tenants"], "steps": steps,
+                    "quantum_steps": QUANTUM_STEPS, "device": DEVICE},
+            host_seconds=0.0, model_seconds=r["model_seconds"],
+            extra={"steps_per_second": r["steps_per_second"],
+                   "speedup": r["speedup"],
+                   "latency_p50": r["latency_p50"],
+                   "latency_p99": r["latency_p99"],
+                   "cache_hit_rate": r["cache_hit_rate"]},
+        )
+        for r in rows
+    ]
+
+
+def _mixed_records(rows: list[dict], server) -> list[BenchRecord]:
+    return [
+        BenchRecord(
+            workload="mixed", n=r["bodies"],
+            config={"scenario": "mixed", "tenant": r["tenant"],
+                    "quantum_steps": QUANTUM_STEPS, "device": DEVICE},
+            host_seconds=0.0, model_seconds=r["model_seconds"],
+            extra={"completed": r["completed"], "rejected": r["rejected"],
+                   "steps": r["steps"], "share": r["share"],
+                   "throttle_events": r["throttle_events"],
+                   "latency_p50": r["latency_p50"],
+                   "latency_p99": r["latency_p99"]},
+            metrics=server.tenant_metrics(r["tenant"]).metrics_block(),
+        )
+        for r in rows
+    ]
+
+
+def _records_bytes(records: list[BenchRecord]) -> str:
+    """The deterministic serialization the determinism check compares."""
+    return json.dumps([r.to_dict() for r in records], sort_keys=True,
+                      separators=(",", ":"))
+
+
+def _report(sharing_rows: list[dict], mixed_rows: list[dict]) -> str:
+    parts = [
+        format_table(sharing_rows,
+                     title=f"Shared vs isolated structure cache, "
+                           f"identical octree tenants (modeled on {DEVICE})"),
+        format_table(mixed_rows,
+                     title=f"Mixed-class traffic per tenant, DRR "
+                           f"quantum={QUANTUM_STEPS} steps "
+                           f"(modeled on {DEVICE})"),
+    ]
+    return "\n".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+def _check(sharing_rows: list[dict], *, min_speedup: float | None) -> int:
+    status = 0
+    speedup = sharing_rows[0]["speedup"]
+    if min_speedup is not None and speedup < min_speedup:
+        print(f"FAIL: sharing speedup {speedup:.2f}x < required "
+              f"{min_speedup}x")
+        status = 1
+    shared = next(r for r in sharing_rows if r["mode"] == "shared")
+    if not shared["cache_hit_rate"] > 0.5:
+        print(f"FAIL: shared-cache hit rate "
+              f"{shared['cache_hit_rate']:.2f} <= 0.5")
+        status = 1
+    return status
+
+
+def _check_determinism(*, scale: float, tenants: int, sessions: int,
+                       mean_interarrival: float) -> int:
+    payloads = []
+    traces = []
+    for _ in range(2):
+        tracer = Tracer()
+        rows, server, _res = mixed_scenario(
+            scale=scale, tenants=tenants, sessions=sessions,
+            mean_interarrival=mean_interarrival, tracer=tracer)
+        payloads.append(_records_bytes(_mixed_records(rows, server)))
+        traces.append(json.dumps(chrome_trace(tracer), sort_keys=True,
+                                 separators=(",", ":")))
+    if payloads[0] != payloads[1]:
+        print("FAIL: bench records differ between identical seeded runs")
+        return 1
+    if traces[0] != traces[1]:
+        print("FAIL: trace exports differ between identical seeded runs")
+        return 1
+    print("OK: records and traces byte-identical across seeded reruns")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def run(*, n: int, steps: int, scale: float, tenants: int, sessions: int,
+        mean_interarrival: float, min_speedup: float | None,
+        smoke: bool) -> int:
+    sharing_rows = sharing_scenario(n=n, steps=steps)
+    mixed_rows, server, _res = mixed_scenario(
+        scale=scale, tenants=tenants, sessions=sessions,
+        mean_interarrival=mean_interarrival)
+    print(_report(sharing_rows, mixed_rows))
+    status = _check(sharing_rows, min_speedup=min_speedup)
+    status |= _check_determinism(
+        scale=scale, tenants=tenants, sessions=sessions,
+        mean_interarrival=mean_interarrival)
+    records = (_sharing_records(sharing_rows, steps)
+               + _mixed_records(mixed_rows, server))
+    path = write_bench_json(
+        "serve_traffic", records, out_dir=RESULTS_DIR,
+        meta={"seed": SEED, "device": DEVICE,
+              "quantum_steps": QUANTUM_STEPS, "smoke": smoke})
+    print(f"[saved to {path}]")
+    if status == 0 and min_speedup is not None:
+        print(f"OK: sharing speedup {sharing_rows[0]['speedup']:.2f}x "
+              f"at {len(sharing_rows)} modes, "
+              f"p99 shared={sharing_rows[1]['latency_p99']:.3e}s")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="small, fast run (relaxed speedup floor)")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        return run(n=128, steps=4, scale=0.5, tenants=3, sessions=2,
+                   mean_interarrival=1e-5, min_speedup=1.2, smoke=True)
+    return run(n=256, steps=8, scale=1.0, tenants=4, sessions=4,
+               mean_interarrival=2e-5, min_speedup=1.5, smoke=False)
+
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.benchmark(group="serve")
+    def test_serve_traffic_smoke(benchmark, emit, results_dir):
+        rows = benchmark.pedantic(
+            lambda: sharing_scenario(n=128, steps=4),
+            rounds=1, iterations=1)
+        mixed_rows, server, _res = mixed_scenario(
+            scale=0.5, tenants=3, sessions=2, mean_interarrival=1e-5)
+        emit("serve_traffic_smoke", _report(rows, mixed_rows))
+        write_bench_json(
+            "serve_traffic",
+            _sharing_records(rows, 4) + _mixed_records(mixed_rows, server),
+            out_dir=results_dir,
+            meta={"seed": SEED, "device": DEVICE,
+                  "quantum_steps": QUANTUM_STEPS, "smoke": True})
+        assert _check(rows, min_speedup=1.2) == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@ Subcommands:
 * ``devices``  — list the Table I device catalog;
 * ``triad``    — reproduce Table I's BabelStream TRIAD column;
 * ``project``  — measure a pipeline and project throughput on a device;
+* ``serve``    — host seeded multi-tenant traffic on the session server
+  and report fairness, latency percentiles, and cache sharing;
 * ``validate`` — the Section V-A solar-system validation experiment;
 * ``bench`` / ``report`` — the Appendix A artifact workflow: run the
   figure experiments into a JSON artifact, then render its tables.
@@ -195,6 +197,79 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+    import pathlib
+
+    from repro.core.config import SimulationConfig
+    from repro.serve import RequestClass, SessionServer, generate_traffic
+
+    classes = None
+    if args.workload_class:
+        classes = [RequestClass(
+            "cli", args.workload_class, n=args.n, steps=args.steps,
+            config=SimulationConfig(algorithm=args.algorithm,
+                                    traversal="grouped", group_size=16),
+        )]
+    specs = generate_traffic(
+        seed=args.seed, tenants=args.tenants,
+        sessions_per_tenant=args.sessions, classes=classes,
+        mean_interarrival=args.mean_interarrival, identical=args.identical,
+    )
+    tracer = None
+    if args.trace_out or args.profile:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    server = SessionServer(
+        quantum_steps=args.quantum_steps, max_resident=args.max_resident,
+        shared_cache=not args.no_shared_cache, tracer=tracer,
+    )
+    res = server.run(specs)
+    print(res.summary())
+    if args.profile:
+        from repro.core.simulation import STEP_ORDER
+        from repro.obs.report import format_tenant_profile, tenant_profile_rows
+
+        steps_by = {t: d["steps"] for t, d in res.tenants.items()}
+        rows = tenant_profile_rows(
+            tracer, server.lane_tenants, server.model,
+            steps_by_tenant=steps_by, order=STEP_ORDER,
+        )
+        print(format_tenant_profile(
+            rows,
+            f"serve profile: modeled on {server.device.name}, "
+            f"per tenant per step (spans)",
+        ))
+    if args.trace_out:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if str(args.trace_out).endswith(".jsonl"):
+            write_jsonl(tracer, args.trace_out)
+        else:
+            write_chrome_trace(tracer, args.trace_out)
+        print(f"trace: {args.trace_out} ({len(tracer.spans)} spans, "
+              f"{len(server.lane_tenants)} session lanes)")
+    if args.metrics_out:
+        payload = {
+            "tenants": {
+                t: server.tenant_metrics(t).as_dict()
+                for t in sorted(res.tenants)
+            },
+        }
+        out = pathlib.Path(args.metrics_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+        print(f"metrics: {args.metrics_out} ({len(payload['tenants'])} tenants)")
+    if args.out:
+        out = pathlib.Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(res.as_dict(), indent=1, sort_keys=True)
+                       + "\n")
+        print(f"result: {args.out}")
+    return 0
+
+
 def _cmd_validate(args) -> int:
     from repro.experiments.validation import run_validation
 
@@ -284,6 +359,51 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--n", type=int, default=4000)
     p.add_argument("--steps", type=int, default=24)
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "serve", help="multi-tenant session server over seeded traffic")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--sessions", type=int, default=4,
+                   help="sessions per tenant")
+    p.add_argument("--mean-interarrival", type=float, default=0.0,
+                   dest="mean_interarrival",
+                   help="mean modeled seconds between arrivals "
+                        "(0 = all at t=0)")
+    p.add_argument("--identical", action="store_true",
+                   help="every session runs the same class and workload "
+                        "seed (shared-cache scenario)")
+    p.add_argument("--workload-class", default=None, dest="workload_class",
+                   choices=["galaxy", "plummer", "cube", "solar"],
+                   help="single-class traffic "
+                        "(default: the interactive/batch/sweep mix)")
+    p.add_argument("--algorithm", default="octree",
+                   choices=["octree", "bvh", "octree-2stage"],
+                   help="algorithm of --workload-class traffic")
+    p.add_argument("--n", type=int, default=256,
+                   help="bodies per session of --workload-class traffic")
+    p.add_argument("--steps", type=int, default=8,
+                   help="steps per session of --workload-class traffic")
+    p.add_argument("--quantum-steps", type=int, default=2,
+                   dest="quantum_steps",
+                   help="scheduler time-slice, in simulation steps")
+    p.add_argument("--max-resident", type=int, default=None,
+                   dest="max_resident",
+                   help="residency bound (excess sessions suspend to "
+                        "checkpoints)")
+    p.add_argument("--no-shared-cache", action="store_true",
+                   dest="no_shared_cache",
+                   help="disable cross-session structure sharing")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-tenant phase profile table")
+    p.add_argument("--trace-out", default=None, dest="trace_out",
+                   help="write a Perfetto trace with per-session tenant "
+                        "lanes (.json or .jsonl)")
+    p.add_argument("--metrics-out", default=None, dest="metrics_out",
+                   help="write the per-tenant metrics payload (JSON)")
+    p.add_argument("--out", default=None,
+                   help="write the full serve result payload (JSON)")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("bench", help="run figure experiments -> JSON artifact")
     p.add_argument("--figure", nargs="+",

@@ -188,20 +188,22 @@ class OctreeAlgorithm(ForceAlgorithm):
             pool = maint.maintain_octree(system, self, build)
             entry = maint.entry
         else:
-            entry = _cache_entry(cache, "octree", config)
+            entry = _cache_entry(cache, "octree", config, system, ctx)
             pool = None if entry is None else entry["structure"]
             if pool is None:
                 box = self._bounding_box(system, ctx)
                 with ctx.step("build_tree"):
                     pool = build(box)
-                entry = _store_structure(cache, "octree", pool)
-        with ctx.step("multipoles"):
-            if ctx.backend == "reference":
-                compute_multipoles_concurrent(pool, system.x, system.m, ctx,
-                                              order=config.multipole_order)
-            else:
-                compute_multipoles_vectorized(pool, system.x, system.m, ctx,
-                                              order=config.multipole_order)
+                entry = _store_structure(cache, "octree", pool, config, system)
+        if not _moments_ready(entry):
+            with ctx.step("multipoles"):
+                if ctx.backend == "reference":
+                    compute_multipoles_concurrent(pool, system.x, system.m, ctx,
+                                                  order=config.multipole_order)
+                else:
+                    compute_multipoles_vectorized(pool, system.x, system.m, ctx,
+                                                  order=config.multipole_order)
+            _mark_moments_ready(entry)
         with ctx.step("force"):
             if config.traversal == "dual":
                 acc = octree_accelerations_dual(
@@ -255,7 +257,7 @@ class BVHAlgorithm(ForceAlgorithm):
             bvh = maint.maintain_bvh(system, self)
             entry = maint.entry
         else:
-            entry = _cache_entry(cache, "bvh", config)
+            entry = _cache_entry(cache, "bvh", config, system, ctx)
             if entry is not None:
                 perm, box = entry["structure"]
             else:
@@ -266,10 +268,18 @@ class BVHAlgorithm(ForceAlgorithm):
                     perm = hilbert_sort_permutation(
                         system.x, box, bits=config.bits, ctx=ctx, curve=config.curve
                     )
-                entry = _store_structure(cache, "bvh", (perm, box))
-            with ctx.step("build_tree"):
-                bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
-                                   order=config.multipole_order)
+                entry = _store_structure(cache, "bvh", (perm, box), config, system)
+            # Content-addressed shared entries were built at bit-identical
+            # (x, m): the assembled tree itself is reusable, not just the
+            # sort permutation.
+            bvh = (entry.get("bvh")
+                   if entry is not None and entry.get("exact") else None)
+            if bvh is None:
+                with ctx.step("build_tree"):
+                    bvh = assemble_bvh(system.x, system.m, perm, box, ctx=ctx,
+                                       order=config.multipole_order)
+                if entry is not None and entry.get("exact"):
+                    entry["bvh"] = bvh
         with ctx.step("force"):
             if config.traversal == "dual":
                 acc = bvh_accelerations_dual(
@@ -336,18 +346,21 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
             pool = maint.maintain_octree(system, self, build)
             entry = maint.entry
         else:
-            entry = _cache_entry(cache, "octree-2stage", config)
+            entry = _cache_entry(cache, "octree-2stage", config, system, ctx)
             pool = None if entry is None else entry["structure"]
             if pool is None:
                 box = self._bounding_box(system, ctx)
                 with ctx.step("build_tree"):
                     pool = build(box)
-                entry = _store_structure(cache, "octree-2stage", pool)
-        with ctx.step("multipoles"):
-            compute_multipoles_vectorized(
-                pool, system.x, system.m, ctx,
-                order=config.multipole_order, account="levelwise",
-            )
+                entry = _store_structure(
+                    cache, "octree-2stage", pool, config, system)
+        if not _moments_ready(entry):
+            with ctx.step("multipoles"):
+                compute_multipoles_vectorized(
+                    pool, system.x, system.m, ctx,
+                    order=config.multipole_order, account="levelwise",
+                )
+            _mark_moments_ready(entry)
         with ctx.step("force"):
             if config.traversal == "dual":
                 acc = octree_accelerations_dual(
@@ -377,14 +390,51 @@ class TwoStageOctreeAlgorithm(ForceAlgorithm):
         return acc
 
 
-def _cache_entry(cache: dict | None, key: str, config: SimulationConfig) -> dict | None:
+def _moments_ready(entry: dict | None) -> bool:
+    """May the multipole pass be skipped for this cache entry?
+
+    Only content-addressed shared entries (``exact``: keyed by the
+    digest of the very positions and masses being evaluated) qualify —
+    their pool already carries the moments of bit-identical inputs.
+    Plain reuse entries age across drifting positions and must refresh
+    moments every step.
+    """
+    return (entry is not None and bool(entry.get("exact"))
+            and bool(entry.get("moments_ready")))
+
+
+def _mark_moments_ready(entry: dict | None) -> None:
+    if entry is not None and entry.get("exact"):
+        entry["moments_ready"] = True
+
+
+def _cache_entry(
+    cache: dict | None,
+    key: str,
+    config: SimulationConfig,
+    system: BodySystem | None = None,
+    ctx: ExecutionContext | None = None,
+) -> dict | None:
     """Return the cache entry if its tree structure is still fresh enough.
 
     The entry dict also carries per-structure derived state (the grouped
     traversal stores its interaction lists in it), which therefore
     expires exactly when the structure does.
+
+    When the cache dict carries a ``"_shared"``
+    :class:`~repro.serve.cache.SharedStructureCache`, lookups are
+    content-addressed instead: the entry is served only on an exact
+    (config fingerprint, position/mass digest) match, so sessions of
+    identical tenants share structures and lists without any aging.
     """
-    if cache is None or config.tree_reuse_steps <= 1:
+    if cache is None:
+        return None
+    shared = cache.get("_shared")
+    if shared is not None and system is not None:
+        entry = shared.lookup(key, config, system, ctx=ctx)
+        if entry is not None or shared.supports(config):
+            return entry
+    if config.tree_reuse_steps <= 1:
         return None
     entry = cache.get(key)
     if entry is None or entry["age"] >= config.tree_reuse_steps:
@@ -393,10 +443,26 @@ def _cache_entry(cache: dict | None, key: str, config: SimulationConfig) -> dict
     return entry
 
 
-def _store_structure(cache: dict | None, key: str, structure) -> dict | None:
+def _store_structure(
+    cache: dict | None,
+    key: str,
+    structure,
+    config: SimulationConfig | None = None,
+    system: BodySystem | None = None,
+) -> dict | None:
     if cache is None:
         return None
-    entry = {"structure": structure, "age": 1}
+    shared = cache.get("_shared")
+    if shared is not None and system is not None and config is not None:
+        entry = shared.store(key, config, system, structure)
+        if entry is not None:
+            return entry
+    entry: dict = {"structure": structure, "age": 1}
+    if system is not None and config is not None and config.tree_reuse_steps > 1:
+        # Positions the structure was built from: the mid-epoch
+        # checkpoint path (repro.core.suspend) replays the epoch build
+        # and list construction from these to resume bit-exact.
+        entry["x_epoch"] = np.array(system.x, copy=True)
     cache[key] = entry
     return entry
 

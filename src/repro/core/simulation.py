@@ -67,6 +67,8 @@ class Simulation:
         ctx: ExecutionContext | None = None,
         tracer=None,
         metrics=None,
+        tree_cache: dict | None = None,
+        runtime_state: dict | None = None,
     ):
         self.system = system
         self.config = config if config is not None else SimulationConfig()
@@ -83,7 +85,10 @@ class Simulation:
         self.algorithm: ForceAlgorithm = get_algorithm(self.config.algorithm)
         self.last_report: StepReport | None = None
         #: Per-simulation tree-structure cache (config.tree_reuse_steps).
-        self._tree_cache: dict = {}
+        #: An injected dict may carry a ``"_shared"``
+        #: :class:`~repro.serve.cache.SharedStructureCache` marker for
+        #: cross-session structure sharing.
+        self._tree_cache: dict = tree_cache if tree_cache is not None else {}
         #: Simulated multi-rank runtime; ``ranks=1`` bypasses it
         #: entirely so the single-rank path stays bit-identical.
         self.distributed = None
@@ -91,6 +96,14 @@ class Simulation:
             from repro.distributed.runtime import DistributedRuntime
 
             self.distributed = DistributedRuntime(self.config, self.ctx)
+        if runtime_state is not None:
+            # Mid-epoch checkpoint resume: reconstruct cached structures,
+            # interaction lists, and decomposition state *before* the
+            # integrator's construction-time force evaluation, which then
+            # replays the suspended step's evaluation bit-exactly.
+            from repro.core.suspend import apply_runtime_state
+
+            apply_runtime_state(self, runtime_state)
         self._integrator = VerletIntegrator(
             system, self._accelerations, self.config.dt
         )
@@ -148,6 +161,61 @@ class Simulation:
             seconds=dict(self.ctx.step_seconds),
         )
         return self.last_report
+
+    def advance(self, n_steps: int = 1) -> StepReport:
+        """Advance *n_steps* without resetting accounting (service path).
+
+        Like :meth:`run`, but accumulates into the context's existing
+        counters instead of re-anchoring them, so several sessions may
+        interleave on one shared context/tracer (each on its own trace
+        lane) and a session can be driven one scheduler quantum at a
+        time.  The returned report covers exactly these steps, computed
+        from per-bucket counter deltas; trace step groups carry the
+        absolute step index.
+        """
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        before = {
+            k: c.as_dict() for k, c in self.ctx.step_counters.steps.items()
+        }
+        seconds_before = dict(self.ctx.step_seconds)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            base = self._integrator.steps_taken
+            lane = self.ctx.trace_lane
+            for k in range(n_steps):
+                with tracer.group("step", args={"step": base + k}, lane=lane):
+                    self._integrator.step(1)
+        else:
+            self._integrator.step(n_steps)
+        self._charge_update_position(n_steps)
+        from repro.obs.tracer import _bucket_delta
+
+        delta = StepCounters()
+        for name, c in self.ctx.step_counters.steps.items():
+            d = _bucket_delta(before.get(name, {}), c.as_dict())
+            if d:
+                delta.step(name).add(**d)
+        seconds = {}
+        for name, v in self.ctx.step_seconds.items():
+            dv = v - seconds_before.get(name, 0.0)
+            if dv > 0.0:
+                seconds[name] = dv
+        self.last_report = StepReport(
+            n_steps=n_steps, counters=delta, seconds=seconds
+        )
+        return self.last_report
+
+    def runtime_state(self) -> dict | None:
+        """Replayable cross-step cache/decomposition state (or None).
+
+        Feed the returned dict back through ``Simulation(...,
+        runtime_state=...)`` — or let the checkpoint path embed it — to
+        resume mid-epoch bit-exactly.  See :mod:`repro.core.suspend`.
+        """
+        from repro.core.suspend import capture_runtime_state
+
+        return capture_runtime_state(self)
 
     def evaluate_forces(self) -> np.ndarray:
         """One force evaluation without advancing time (accounted)."""

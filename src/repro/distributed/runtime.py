@@ -143,6 +143,12 @@ class DistributedRuntime:
         self.maint_counts = {"rebuild": 0, "refit": 0}
         self._last_trees: list | None = None
         self._last_plans: list | None = None
+        #: Set by checkpoint resume (repro.core.suspend): the next
+        #: evaluation replays the restored decomposition verbatim and
+        #: does not advance the rebalance cadence, so the replayed
+        #: construction-time evaluation leaves the cadence phase exactly
+        #: where the suspended run had it.
+        self._resume_replay = False
 
     # ------------------------------------------------------------------
     def accelerations(self, system) -> np.ndarray:
@@ -337,6 +343,18 @@ class DistributedRuntime:
         # cache makes repeat evaluations at unchanged positions free and
         # lets the per-rank BVH sorts reuse the global keys.
         keys = self._keycache.keys(x, box, bits=bits, curve="hilbert")
+        if (self._resume_replay and self._decomp is not None
+                and self._decomp.n_bodies == n):
+            # Checkpoint-resume replay: this evaluation re-runs the one
+            # the suspended step already did, so the restored
+            # decomposition applies as-is and the cadence must not tick.
+            self._resume_replay = False
+            decomp = self._decomp
+            self._prev_rank_of = decomp.rank_of()
+            self._decomp = decomp
+            self._charge_partition_ranks(decomp, dim)
+            return decomp, False, 0, keys
+        self._resume_replay = False
         due = self.balancer.tick()
         stale = self._decomp is None or self._decomp.n_bodies != n
         rebalanced = due or stale
@@ -379,9 +397,13 @@ class DistributedRuntime:
         self._prev_rank_of = rank_of
         self._decomp = decomp
 
-        # Each rank encodes + sorts its own bodies (keys are 1 encode,
-        # ~5 flops/bit/dim; local sort n log n).
-        for r in range(K):
+        self._charge_partition_ranks(decomp, dim)
+        return decomp, rebalanced, migrated, keys
+
+    def _charge_partition_ranks(self, decomp, dim: int) -> None:
+        """Each rank encodes + sorts its own bodies (keys are 1 encode,
+        ~5 flops/bit/dim; local sort n log n)."""
+        for r in range(self.n_ranks):
             nr = float(decomp.counts[r])
             if nr == 0:
                 continue
@@ -393,7 +415,6 @@ class DistributedRuntime:
                 loop_iterations=nr,
                 kernel_launches=2.0,
             )
-        return decomp, rebalanced, migrated, keys
 
     # ------------------------------------------------------------------
     def _build_octrees(self, xr, mr):

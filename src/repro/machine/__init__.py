@@ -20,6 +20,7 @@ from repro.machine.catalog import (
     list_devices,
     HOST,
 )
+from repro.machine.budget import DeviceTimeBudget
 from repro.machine.costmodel import CostModel, predict_time
 
 
@@ -45,6 +46,7 @@ __all__ = [
     "list_devices",
     "HOST",
     "CostModel",
+    "DeviceTimeBudget",
     "predict_time",
     "babelstream_triad",
     "triad_table",

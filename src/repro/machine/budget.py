@@ -1,0 +1,60 @@
+"""Per-tenant modeled device-time ledger.
+
+The service layer charges every piece of work a session performs —
+materialization, step quanta, checkpoint suspend/resume — in modeled
+device seconds from the cost model.  The :class:`DeviceTimeBudget`
+is the double-entry side of that: an append-free ledger of who spent
+what, with optional hard caps per tenant.  Being built from modeled
+(not wall) time, two identical runs produce identical ledgers.
+"""
+
+from __future__ import annotations
+
+
+class DeviceTimeBudget:
+    """Tracks modeled device seconds spent per tenant."""
+
+    def __init__(self, caps: dict[str, float] | None = None):
+        #: Optional hard cap per tenant, modeled seconds.
+        self.caps = dict(caps or {})
+        for tenant, cap in self.caps.items():
+            if cap <= 0:
+                raise ValueError(f"cap for {tenant!r} must be positive")
+        self._spent: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def charge(self, tenant: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot charge negative seconds")
+        self._spent[tenant] = self._spent.get(tenant, 0.0) + seconds
+
+    def spent(self, tenant: str) -> float:
+        return self._spent.get(tenant, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._spent.values())
+
+    def remaining(self, tenant: str) -> float:
+        """Seconds left under the tenant's cap (inf when uncapped)."""
+        cap = self.caps.get(tenant)
+        if cap is None:
+            return float("inf")
+        return max(cap - self.spent(tenant), 0.0)
+
+    def exhausted(self, tenant: str) -> bool:
+        return self.remaining(tenant) <= 0.0
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of all charged time per tenant (empty ledger: {})."""
+        total = self.total
+        if total <= 0:
+            return {}
+        return {t: s / total for t, s in sorted(self._spent.items())}
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "spent": {t: self._spent[t] for t in sorted(self._spent)},
+            "caps": dict(self.caps),
+        }

@@ -28,7 +28,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     conservation_sample,
 )
-from repro.obs.report import format_profile, profile_rows, render_profile
+from repro.obs.report import (
+    format_profile,
+    format_tenant_profile,
+    profile_rows,
+    render_profile,
+    tenant_phase_counters,
+    tenant_profile_rows,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     TRACE_SCHEMA,
@@ -70,4 +77,7 @@ __all__ = [
     "profile_rows",
     "format_profile",
     "render_profile",
+    "tenant_phase_counters",
+    "tenant_profile_rows",
+    "format_tenant_profile",
 ]

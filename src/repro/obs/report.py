@@ -86,6 +86,59 @@ def format_profile(rows: list[dict[str, float | str]], title: str) -> str:
     return "\n".join(lines)
 
 
+def tenant_phase_counters(tracer, lane_tenants: dict[int, str]) -> dict[str, StepCounters]:
+    """Per-tenant phase counters, split by the spans' timeline lanes.
+
+    ``lane_tenants`` is the server's lane->tenant map (every hosted
+    session runs on its own lane); spans on unmapped lanes (the driver
+    lane, rank lanes of an untenanted run) are ignored.  Summation is
+    lane-major in creation order — the same telescoping contract as
+    :meth:`~repro.obs.tracer.Tracer.phase_counters`, so the per-tenant
+    tables sum to the all-tenants table field for field.
+    """
+    out: dict[str, StepCounters] = {}
+    for rec in sorted(tracer.spans, key=lambda r: (r.lane, r.seq)):
+        if rec.cat != "phase" or not rec.delta:
+            continue
+        tenant = lane_tenants.get(rec.lane)
+        if tenant is None:
+            continue
+        out.setdefault(tenant, StepCounters()).step(rec.name).add(**rec.delta)
+    return out
+
+
+def tenant_profile_rows(
+    tracer, lane_tenants: dict[int, str], model: CostModel,
+    *, steps_by_tenant: dict[str, int] | None = None,
+    order: tuple[str, ...] = (),
+) -> list[dict[str, float | str]]:
+    """Profile rows with a leading ``tenant`` column, tenants sorted."""
+    per = tenant_phase_counters(tracer, lane_tenants)
+    rows: list[dict[str, float | str]] = []
+    for tenant in sorted(per):
+        steps = (steps_by_tenant or {}).get(tenant, 1)
+        for row in profile_rows(per[tenant], model, steps, order=order):
+            rows.append({"tenant": tenant, **row})
+    return rows
+
+
+def format_tenant_profile(rows: list[dict[str, float | str]], title: str) -> str:
+    """Render per-tenant rows as the serve ``--profile`` table."""
+    lines = [f"--- {title} ---"]
+    header = "  " + f"{'tenant':12s} {'phase':16s}"
+    for _, label, width in _COLUMNS:
+        header += f" {label:>{width}s}"
+    lines.append(header)
+    for row in rows:
+        line = "  " + f"{row['tenant']:12s} {row['phase']:16s}"
+        for name, _, width in _COLUMNS:
+            v = float(row[name])
+            line += (f" {v:{width}.3e}" if name == "model_s"
+                     else f" {v:{width}.3g}")
+        lines.append(line)
+    return "\n".join(lines)
+
+
 def render_profile(sim, rep, n_steps: int) -> str:
     """The ``--profile`` output for one finished run.
 

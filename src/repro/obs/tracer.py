@@ -115,7 +115,7 @@ class NullTracer:
     spans: tuple = ()
     instants: tuple = ()
 
-    def begin_phase(self, name, ctx):  # pragma: no cover - trivial
+    def begin_phase(self, name, ctx, *, lane=DRIVER_LANE):  # pragma: no cover
         return None
 
     def end_phase(self, frame, ctx, host_seconds=0.0):  # pragma: no cover

@@ -1,0 +1,78 @@
+"""repro.serve — multi-tenant simulation-as-a-service session runtime.
+
+The service layer the ROADMAP's "millions of users, heavy traffic"
+north star asks for: many concurrent :class:`~repro.core.Simulation`
+sessions sharing one modeled device budget.
+
+* :mod:`repro.serve.session` — one hosted simulation: lazy
+  materialization, step-quantum execution, checkpoint-backed
+  suspend/resume (bit-exact, including mid-epoch cached-list state).
+* :mod:`repro.serve.admission` — per-tenant quotas, FIFO queues,
+  backpressure with deterministic rejection codes and modeled wait
+  estimates.
+* :mod:`repro.serve.scheduler` — deficit round-robin over modeled
+  device-seconds from :mod:`repro.machine.costmodel`; no tenant
+  exceeds its share by more than one step-quantum's cost.
+* :mod:`repro.serve.cache` — cross-session structure sharing:
+  content-addressed entries keyed by (structure, config fingerprint,
+  state digest) with an LRU byte budget, so identical-config tenants
+  share tree builds and interaction lists and a stale or mismatched
+  list can never be served.
+* :mod:`repro.serve.server` — the :class:`SessionServer` event loop on
+  the deterministic modeled clock, per-tenant metrics lanes and
+  watchdogs, per-session trace lanes.
+* :mod:`repro.serve.traffic` — seeded synthetic traffic (arrival
+  process + mixed request classes) for ``bench_serve_traffic.py`` and
+  the ``repro-nbody serve`` CLI.
+
+Wire-up::
+
+    from repro.serve import SessionServer, TenantQuota, generate_traffic
+    server = SessionServer(shared_cache=True)
+    specs = generate_traffic(seed=7, tenants=4, sessions_per_tenant=3)
+    result = server.run(specs)
+    print(result.summary())
+"""
+
+from repro.serve.admission import (
+    REJECT_SERVER_SATURATED,
+    REJECT_TENANT_QUEUE_FULL,
+    AdmissionController,
+    AdmissionResult,
+    TenantQuota,
+)
+from repro.serve.cache import SharedStructureCache, config_fingerprint, state_digest
+from repro.serve.scheduler import DeficitRoundRobin
+from repro.serve.server import ServeResult, SessionServer
+from repro.serve.session import Session, SessionSpec, SessionState
+from repro.serve.telemetry import (
+    QueueDepthWatchdog,
+    SessionLatencyWatchdog,
+    percentile,
+    serve_watchdogs,
+)
+from repro.serve.traffic import RequestClass, default_classes, generate_traffic
+
+__all__ = [
+    "SessionServer",
+    "ServeResult",
+    "Session",
+    "SessionSpec",
+    "SessionState",
+    "AdmissionController",
+    "AdmissionResult",
+    "TenantQuota",
+    "REJECT_TENANT_QUEUE_FULL",
+    "REJECT_SERVER_SATURATED",
+    "DeficitRoundRobin",
+    "SharedStructureCache",
+    "config_fingerprint",
+    "state_digest",
+    "RequestClass",
+    "default_classes",
+    "generate_traffic",
+    "percentile",
+    "serve_watchdogs",
+    "QueueDepthWatchdog",
+    "SessionLatencyWatchdog",
+]

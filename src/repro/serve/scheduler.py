@@ -1,0 +1,105 @@
+"""Deficit round-robin over modeled device-seconds.
+
+Classic DRR (Shreedhar & Varghese), with the byte counter replaced by
+the cost model's modeled device time: every round, each backlogged
+tenant's deficit grows by ``weight x quantum`` seconds, and the tenant
+runs head-of-line session quanta — charged at their *actual* modeled
+cost — for as long as the deficit stays positive.  A tenant whose
+queue drains forfeits its leftover deficit (no banking while idle).
+
+Because a quantum's cost is only known after it runs, a tenant can
+overdraw its deficit by at most one quantum's cost — the classic DRR
+fairness bound, which ``tests/test_serve_scheduler.py`` asserts: over
+any backlogged window, no tenant's charged time exceeds its weight
+share of the round grants by more than the largest single quantum.
+
+The quantum (seconds of deficit granted per round per unit weight) is
+auto-calibrated by default: it starts at a small floor and tracks the
+largest observed quantum cost, so one grant is always enough to run at
+least one quantum (a fixed too-small quantum would stall every tenant
+below the head-of-line cost; a too-large one would degrade to plain
+round-robin bursts).
+"""
+
+from __future__ import annotations
+
+#: Starting quantum before any cost has been observed, seconds.
+_QUANTUM_FLOOR = 1e-9
+
+
+class DeficitRoundRobin:
+    """Fair-share policy object; the server's event loop drives it."""
+
+    def __init__(self, *, quantum: float | None = None):
+        if quantum is not None and quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self._fixed_quantum = quantum
+        self._max_seen = 0.0
+        self._weights: dict[str, float] = {}
+        self._deficit: dict[str, float] = {}
+        #: Registration order — the stable round-robin ring order.
+        self._ring: list[str] = []
+        #: Grants and charges, for fairness accounting/tests.
+        self.granted: dict[str, float] = {}
+        self.charged: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def quantum(self) -> float:
+        """Deficit seconds granted per round per unit weight."""
+        if self._fixed_quantum is not None:
+            return self._fixed_quantum
+        return max(self._max_seen, _QUANTUM_FLOOR)
+
+    def register(self, tenant: str, weight: float = 1.0) -> None:
+        if tenant in self._weights:
+            return
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[tenant] = float(weight)
+        self._deficit[tenant] = 0.0
+        self.granted[tenant] = 0.0
+        self.charged[tenant] = 0.0
+        self._ring.append(tenant)
+
+    def round_order(self, backlogged) -> list[str]:
+        """The ring restricted to tenants with work, in stable order."""
+        want = set(backlogged)
+        return [t for t in self._ring if t in want]
+
+    # ------------------------------------------------------------------
+    def grant(self, tenant: str) -> None:
+        """Start the tenant's turn: one round's worth of deficit."""
+        inc = self._weights[tenant] * self.quantum
+        self._deficit[tenant] += inc
+        self.granted[tenant] += inc
+
+    def runnable(self, tenant: str) -> bool:
+        """May the tenant run (another) quantum this turn?"""
+        return self._deficit[tenant] > 0.0
+
+    def charge(self, tenant: str, cost: float) -> None:
+        """Account one quantum's actual modeled cost."""
+        self._deficit[tenant] -= cost
+        self.charged[tenant] += cost
+        if cost > self._max_seen:
+            self._max_seen = cost
+
+    def drained(self, tenant: str) -> None:
+        """The tenant's queue emptied: leftover deficit is forfeited."""
+        self._deficit[tenant] = 0.0
+
+    def deficit(self, tenant: str) -> float:
+        return self._deficit[tenant]
+
+    # ------------------------------------------------------------------
+    def fairness_slack(self, tenant: str) -> float:
+        """``charged - granted`` — bounded by one quantum's cost."""
+        return self.charged[tenant] - self.granted[tenant]
+
+    def as_dict(self) -> dict:
+        return {
+            "quantum": self.quantum,
+            "granted": dict(self.granted),
+            "charged": dict(self.charged),
+        }

@@ -1,0 +1,463 @@
+"""The multi-tenant session server: admission -> DRR -> sessions.
+
+The server is a deterministic discrete-event loop on the **modeled
+clock**: time advances only when work is charged (modeled device
+seconds of materialization, step quanta, and checkpoint traffic) or
+when the server is idle and jumps to the next arrival.  Wall time
+never enters the loop, so two runs over the same seeded traffic
+produce byte-identical results, metrics, and traces.
+
+Scheduling is deficit round-robin (:mod:`repro.serve.scheduler`) over
+per-tenant FIFO queues: within a tenant, sessions run to completion in
+arrival order (head-of-line); across tenants, modeled device time is
+split by quota weight to within one step-quantum.  Residency is
+bounded by ``max_resident``: when a session must run and the limit is
+reached, the least-recently-scheduled resident session is suspended
+through the bit-exact checkpoint path and resumed later — with
+``max_resident=1`` the server time-slices a single residency slot and
+still produces exactly the results of unlimited residency (the
+round-trip tests in tests/test_serve_server.py assert this).
+
+Identical-config tenants share tree builds and interaction lists via
+the content-addressed :class:`~repro.serve.cache.SharedStructureCache`
+(``shared_cache=True``); per-tenant :class:`~repro.obs.MetricsRegistry`
+instances and serve watchdogs record queue depth, throttling, and
+session latency; with a tracer attached, every session runs on its own
+timeline lane named ``tenant/session``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.machine.budget import DeviceTimeBudget
+from repro.machine.costmodel import CostModel
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import (
+    NOMINAL_SECONDS_PER_BODY_STEP,
+    AdmissionController,
+    Occupancy,
+    TenantQuota,
+)
+from repro.serve.cache import SharedStructureCache, config_fingerprint
+from repro.serve.scheduler import DeficitRoundRobin
+from repro.serve.session import Session, SessionSpec, SessionState
+from repro.serve.telemetry import percentile, serve_watchdogs
+from repro.stdpar.context import ExecutionContext
+
+
+@dataclass
+class ServeResult:
+    """Everything one :meth:`SessionServer.run` produced.
+
+    All quantities are modeled and deterministic; ``as_dict()`` is the
+    payload the traffic benchmark byte-compares between seeded runs.
+    """
+
+    clock: float
+    rounds: int
+    total_steps: int
+    sessions: list[dict]
+    rejected: list[dict]
+    tenants: dict[str, dict]
+    scheduler: dict
+    budget: dict
+    cache: dict | None
+    alerts: list = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def steps_per_second(self) -> float:
+        """Aggregate session throughput: steps per modeled second."""
+        return self.total_steps / self.clock if self.clock > 0 else 0.0
+
+    def latencies(self, tenant: str | None = None) -> list[float]:
+        return [
+            s["latency"] for s in self.sessions
+            if tenant is None or s["tenant"] == tenant
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "clock": self.clock,
+            "rounds": self.rounds,
+            "total_steps": self.total_steps,
+            "steps_per_second": self.steps_per_second,
+            "sessions": self.sessions,
+            "rejected": self.rejected,
+            "tenants": self.tenants,
+            "scheduler": self.scheduler,
+            "budget": self.budget,
+            "cache": self.cache,
+            "alerts": [
+                {"step": a.step, "kind": a.kind, "message": a.message,
+                 "value": a.value}
+                for a in self.alerts
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"serve: {self.completed} sessions, {self.total_steps} steps "
+            f"in {self.clock:.3e} modeled s "
+            f"({self.steps_per_second:.3e} steps/s), "
+            f"{len(self.rejected)} rejected, {self.rounds} rounds",
+        ]
+        agg = self.latencies()
+        lines.append(
+            f"latency p50={percentile(agg, 50):.3e}s "
+            f"p99={percentile(agg, 99):.3e}s"
+        )
+        header = (f"{'tenant':<12} {'done':>5} {'rej':>4} {'steps':>6} "
+                  f"{'device s':>11} {'share':>6} {'thrtl':>5} "
+                  f"{'p50 s':>10} {'p99 s':>10}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for tenant in sorted(self.tenants):
+            t = self.tenants[tenant]
+            lines.append(
+                f"{tenant:<12} {t['completed']:>5} {t['rejected']:>4} "
+                f"{t['steps']:>6} {t['device_seconds']:>11.3e} "
+                f"{t['share']:>6.1%} {t['throttle_events']:>5} "
+                f"{t['latency_p50']:>10.3e} {t['latency_p99']:>10.3e}"
+            )
+        if self.cache is not None:
+            c = self.cache
+            lines.append(
+                f"shared cache: {c['hits']} hits / {c['misses']} misses "
+                f"(rate {c['hit_rate']:.1%}), {c['entries']} entries, "
+                f"{c['nbytes']} bytes, {c['evictions']} evictions"
+            )
+        for a in self.alerts:
+            lines.append(f"ALERT [{a.kind}] {a.message}")
+        return "\n".join(lines)
+
+
+class SessionServer:
+    """Hosts many simulation sessions on one modeled device."""
+
+    def __init__(
+        self,
+        *,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        max_sessions: int = 64,
+        quantum_steps: int = 2,
+        max_resident: int | None = None,
+        shared_cache: bool = True,
+        cache_budget: int = 256 * 1024 * 1024,
+        scheduler: DeficitRoundRobin | None = None,
+        tracer=None,
+        watchdogs: list | None = None,
+        budget_caps: dict[str, float] | None = None,
+        device=None,
+        backend: str = "vectorized",
+    ):
+        if quantum_steps < 1:
+            raise ValueError("quantum_steps must be at least 1")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError("max_resident must be at least 1")
+        if isinstance(device, str):
+            from repro.machine.catalog import get_device
+
+            device = get_device(device)
+        base = ExecutionContext(device, backend=backend)
+        self.device = base.device
+        self.backend = backend
+        self.toolchain = base.toolchain
+        #: Cost model every charge and trace duration comes from.
+        self.model = CostModel(self.device, toolchain=self.toolchain)
+        self.admission = AdmissionController(
+            max_sessions=max_sessions, quotas=quotas,
+            default_quota=default_quota,
+        )
+        self.scheduler = scheduler or DeficitRoundRobin()
+        self.quantum_steps = int(quantum_steps)
+        self.max_resident = max_resident
+        self.shared = (SharedStructureCache(cache_budget)
+                       if shared_cache else None)
+        self.budget = DeviceTimeBudget(budget_caps)
+        self.tracer = tracer
+        self.watchdogs = (watchdogs if watchdogs is not None
+                          else serve_watchdogs())
+        # ---- run state -------------------------------------------------
+        self.clock = 0.0
+        self.sessions: list[Session] = []
+        self._queues: dict[str, deque] = {}
+        self._resident: list[Session] = []     # LRU order (oldest first)
+        self._rejected: list[dict] = []
+        self._metrics: dict[str, MetricsRegistry] = {}
+        self.alerts: list = []
+        #: Trace lane -> tenant (``--profile`` per-tenant aggregation).
+        self.lane_tenants: dict[int, str] = {}
+        self._next_lane = 1
+        #: Observed (cost, steps) per request-class key, for the
+        #: deterministic admission wait estimates.
+        self._observed: dict[tuple, list[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Session plumbing (callbacks used by Session)
+    # ------------------------------------------------------------------
+    def _session_ctx(self, session: Session) -> ExecutionContext:
+        ctx = ExecutionContext(self.device, backend=self.backend,
+                               toolchain=self.toolchain)
+        if self.tracer is not None and self.tracer.enabled:
+            ctx.tracer = self.tracer
+            ctx.trace_lane = session.lane
+        return ctx
+
+    def _session_tree_cache(self) -> dict:
+        return {"_shared": self.shared} if self.shared is not None else {}
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def tenant_metrics(self, tenant: str) -> MetricsRegistry:
+        reg = self._metrics.get(tenant)
+        if reg is None:
+            reg = MetricsRegistry()
+            self._metrics[tenant] = reg
+        return reg
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _estimate_key(self, spec: SessionSpec) -> tuple:
+        return (spec.workload, spec.n, config_fingerprint(spec.config))
+
+    def _per_step_estimate(self, spec: SessionSpec) -> float:
+        obs = self._observed.get(self._estimate_key(spec))
+        if obs and obs[1] > 0:
+            return obs[0] / obs[1]
+        return NOMINAL_SECONDS_PER_BODY_STEP * spec.n
+
+    def _observe_cost(self, spec: SessionSpec, cost: float, steps: int):
+        key = self._estimate_key(spec)
+        acc = self._observed.get(key)
+        if acc is None:
+            self._observed[key] = [cost, float(steps)]
+        else:
+            acc[0] += cost
+            acc[1] += steps
+
+    def _occupancy(self) -> Occupancy:
+        active: dict[str, int] = {}
+        queued: dict[str, int] = {}
+        backlog: dict[str, float] = {}
+        for s in self.sessions:
+            if s.done or s.state == SessionState.REJECTED:
+                continue
+            active[s.tenant] = active.get(s.tenant, 0) + 1
+            if s.state == SessionState.QUEUED:
+                queued[s.tenant] = queued.get(s.tenant, 0) + 1
+            backlog[s.tenant] = backlog.get(s.tenant, 0.0) + \
+                self._per_step_estimate(s.spec) * s.remaining
+        return Occupancy(active, queued, backlog)
+
+    def _admit(self, spec: SessionSpec) -> Session | None:
+        quota = self.admission.quota(spec.tenant)
+        self.scheduler.register(spec.tenant, quota.weight)
+        reg = self.tenant_metrics(spec.tenant)
+        result = self.admission.offer(spec, self._occupancy())
+        if not result.admitted:
+            self._rejected.append({
+                "tenant": spec.tenant, "name": spec.name,
+                "arrival": spec.arrival, "code": result.code,
+            })
+            reg.counter("serve.sessions_rejected").inc()
+            return None
+        session = Session(spec, server=self)
+        session.admitted_at = max(self.clock, spec.arrival)
+        session.estimated_wait = result.estimated_wait
+        if self.tracer is not None and self.tracer.enabled:
+            session.lane = self._next_lane
+            self._next_lane += 1
+            self.tracer.ensure_lane(
+                session.lane, f"{spec.tenant}/{spec.name}")
+            self.lane_tenants[session.lane] = spec.tenant
+        self.sessions.append(session)
+        self._queues.setdefault(spec.tenant, deque()).append(session)
+        reg.counter("serve.sessions_admitted").inc()
+        return session
+
+    def _admit_due(self, pending: deque) -> None:
+        while pending and pending[0].arrival <= self.clock:
+            self._admit(pending.popleft())
+
+    # ------------------------------------------------------------------
+    # Residency
+    # ------------------------------------------------------------------
+    def _ensure_resident(self, session: Session) -> float:
+        """Make *session* runnable; returns the modeled cost incurred.
+
+        Evicts least-recently-scheduled residents through the checkpoint
+        path when the residency bound requires it.  Eviction cost is
+        charged to the incoming session's tenant (it caused the work).
+        """
+        cost = 0.0
+        if not session.resident:
+            if self.max_resident is not None:
+                while len(self._resident) >= self.max_resident:
+                    victim = self._resident.pop(0)
+                    cost += victim.suspend()
+                    self.tenant_metrics(victim.tenant).counter(
+                        "serve.suspends").inc()
+            cost += session.materialize()
+        if session in self._resident:
+            self._resident.remove(session)
+        self._resident.append(session)
+        return cost
+
+    # ------------------------------------------------------------------
+    # One quantum
+    # ------------------------------------------------------------------
+    def _run_one_quantum(self, session: Session) -> float:
+        reg = self.tenant_metrics(session.tenant)
+        cost = self._ensure_resident(session)
+        if session.started_at is None:
+            session.started_at = self.clock
+            reg.histogram("serve.session_wait_seconds").observe(
+                session.started_at - session.spec.arrival)
+        steps_before = session.steps_done
+        cost += session.run_quantum(self.quantum_steps)
+        steps = session.steps_done - steps_before
+        self.clock += cost
+        session.device_seconds += cost
+        self.budget.charge(session.tenant, cost)
+        self._observe_cost(session.spec, cost, steps)
+        reg.counter("serve.quanta").inc()
+        reg.counter("serve.steps").inc(steps)
+        reg.gauge("serve.device_seconds").set(
+            self.budget.spent(session.tenant))
+        return cost
+
+    def _finish(self, session: Session) -> tuple[str, float]:
+        session.finished_at = self.clock
+        if session in self._resident:
+            self._resident.remove(session)
+        latency = session.finished_at - session.spec.arrival
+        reg = self.tenant_metrics(session.tenant)
+        reg.counter("serve.sessions_completed").inc()
+        reg.histogram("serve.session_latency_seconds").observe(latency)
+        return (f"{session.tenant}/{session.spec.name}", latency)
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self, specs: list[SessionSpec]) -> ServeResult:
+        pending = deque(sorted(
+            specs, key=lambda s: (s.arrival, s.tenant, s.name)))
+        rounds = 0
+        self._admit_due(pending)
+        while pending or any(self._queues.values()):
+            if not any(self._queues.values()):
+                # Idle: jump the modeled clock to the next arrival.
+                self.clock = max(self.clock, pending[0].arrival)
+                self._admit_due(pending)
+                continue
+            rounds += 1
+            completions: list[tuple[str, float]] = []
+            backlogged = [t for t, q in self._queues.items() if q]
+            for tenant in self.scheduler.round_order(backlogged):
+                queue = self._queues[tenant]
+                if not queue:
+                    continue  # drained earlier this round
+                self.scheduler.grant(tenant)
+                while queue and self.scheduler.runnable(tenant):
+                    session = queue[0]
+                    cost = self._run_one_quantum(session)
+                    self.scheduler.charge(tenant, cost)
+                    if session.done:
+                        queue.popleft()
+                        completions.append(self._finish(session))
+                    # Arrivals up to the advanced clock join their
+                    # queues now (and this round, if their turn is
+                    # still ahead).
+                    self._admit_due(pending)
+                if not queue:
+                    self.scheduler.drained(tenant)
+                else:
+                    # Turn ended with work left: the tenant was
+                    # throttled to its fair share this round.
+                    self.tenant_metrics(tenant).counter(
+                        "serve.throttle_events").inc()
+            self._sample(rounds, completions)
+        return self._result(rounds)
+
+    def _sample(self, round_index: int, completions) -> None:
+        depths = {t: len(q) for t, q in sorted(self._queues.items())}
+        for tenant, depth in depths.items():
+            self.tenant_metrics(tenant).gauge(
+                "serve.queue_depth").set(depth)
+        sample = {
+            "round": round_index,
+            "clock": self.clock,
+            "queue_depth": depths,
+            "completions": completions,
+        }
+        for dog in self.watchdogs:
+            alert = dog.check(sample, self)
+            if alert is not None:
+                self.alerts.append(alert)
+
+    # ------------------------------------------------------------------
+    def _result(self, rounds: int) -> ServeResult:
+        session_rows = []
+        for s in sorted(self.sessions,
+                        key=lambda s: (s.spec.arrival, s.tenant, s.spec.name)):
+            if not s.done:
+                continue
+            session_rows.append({
+                "tenant": s.tenant,
+                "name": s.spec.name,
+                "workload": s.spec.workload,
+                "n": s.spec.n,
+                "steps": s.spec.steps,
+                "seed": s.spec.seed,
+                "arrival": s.spec.arrival,
+                "started": s.started_at,
+                "finished": s.finished_at,
+                "wait": s.started_at - s.spec.arrival,
+                "latency": s.finished_at - s.spec.arrival,
+                "estimated_wait": s.estimated_wait,
+                "device_seconds": s.device_seconds,
+                "quanta": s.quanta,
+                "result": s.result_digest,
+            })
+        tenants: dict[str, dict] = {}
+        total = self.budget.total
+        for tenant in sorted(self._metrics):
+            rows = [r for r in session_rows if r["tenant"] == tenant]
+            lats = [r["latency"] for r in rows]
+            reg = self._metrics[tenant]
+            counters = reg.as_dict().get("counters", {})
+            tenants[tenant] = {
+                "completed": len(rows),
+                "rejected": int(counters.get("serve.sessions_rejected", 0)),
+                "steps": int(sum(r["steps"] for r in rows)),
+                "quanta": int(counters.get("serve.quanta", 0)),
+                "throttle_events": int(
+                    counters.get("serve.throttle_events", 0)),
+                "device_seconds": self.budget.spent(tenant),
+                "share": (self.budget.spent(tenant) / total
+                          if total > 0 else 0.0),
+                "latency_p50": percentile(lats, 50),
+                "latency_p99": percentile(lats, 99),
+            }
+        return ServeResult(
+            clock=self.clock,
+            rounds=rounds,
+            total_steps=int(sum(r["steps"] for r in session_rows)),
+            sessions=session_rows,
+            rejected=list(self._rejected),
+            tenants=tenants,
+            scheduler=self.scheduler.as_dict(),
+            budget=self.budget.as_dict(),
+            cache=(self.shared.stats_dict()
+                   if self.shared is not None else None),
+            alerts=list(self.alerts),
+        )

@@ -1,0 +1,96 @@
+"""Service-level telemetry: percentiles and serve watchdogs.
+
+The per-simulation watchdogs of :mod:`repro.obs.watchdog` guard
+physics invariants; these guard *service* invariants — queue depth and
+session latency — over the samples the :class:`SessionServer` takes at
+the end of every scheduler round.  They reuse the same
+:class:`~repro.obs.watchdog.Alert` record type so alerts from both
+layers aggregate in one report.
+"""
+
+from __future__ import annotations
+
+from repro.obs.watchdog import Alert
+
+
+def percentile(values, p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``p`` in [0, 100].  Returns 0.0 for an empty sequence — the serve
+    report prints percentiles before the first completion.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    xs = sorted(values)
+    if not xs:
+        return 0.0
+    if p == 0.0:
+        return float(xs[0])
+    rank = max(1, -(-len(xs) * p // 100))  # ceil(len * p / 100)
+    return float(xs[int(rank) - 1])
+
+
+class QueueDepthWatchdog:
+    """Fires when any tenant's waiting queue exceeds *threshold*."""
+
+    kind = "serve_queue_depth"
+
+    def __init__(self, threshold: int = 16):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.threshold = int(threshold)
+
+    def check(self, sample: dict, server) -> Alert | None:
+        depths = sample.get("queue_depth", {})
+        worst = max(depths.items(), key=lambda kv: (kv[1], kv[0]),
+                    default=None)
+        if worst is None or worst[1] <= self.threshold:
+            return None
+        return Alert(
+            step=int(sample.get("round", 0)),
+            kind=self.kind,
+            message=(f"tenant {worst[0]!r} queue depth {worst[1]} exceeds "
+                     f"{self.threshold}"),
+            value=float(worst[1]),
+        )
+
+
+class SessionLatencyWatchdog:
+    """Fires when a completed session's latency exceeds *threshold*.
+
+    Latency is modeled seconds from arrival to completion — the
+    quantity the p50/p99 traffic study reports.
+    """
+
+    kind = "serve_session_latency"
+
+    def __init__(self, threshold_seconds: float):
+        if threshold_seconds <= 0:
+            raise ValueError("threshold_seconds must be positive")
+        self.threshold_seconds = float(threshold_seconds)
+
+    def check(self, sample: dict, server) -> Alert | None:
+        worst = None
+        for name, latency in sample.get("completions", ()):
+            if latency > self.threshold_seconds and (
+                    worst is None or latency > worst[1]):
+                worst = (name, latency)
+        if worst is None:
+            return None
+        return Alert(
+            step=int(sample.get("round", 0)),
+            kind=self.kind,
+            message=(f"session {worst[0]!r} latency {worst[1]:.3e}s exceeds "
+                     f"{self.threshold_seconds:.3e}s"),
+            value=float(worst[1]),
+        )
+
+
+def serve_watchdogs(
+    *, queue_depth: int = 16, latency_seconds: float | None = None,
+) -> list:
+    """The default serve watchdog set."""
+    dogs: list = [QueueDepthWatchdog(queue_depth)]
+    if latency_seconds is not None:
+        dogs.append(SessionLatencyWatchdog(latency_seconds))
+    return dogs

@@ -1,0 +1,108 @@
+"""Seeded synthetic traffic for the service layer.
+
+A traffic pattern is a list of :class:`~repro.serve.session.
+SessionSpec` with modeled-clock arrival times: a Poisson process
+(exponential interarrivals) over a weighted mix of request classes,
+drawn from one ``numpy`` generator seeded by the caller.  The same
+seed always produces the same specs — arrival times, tenants, classes,
+workload seeds — which is what makes two serve benchmark runs
+byte-comparable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SimulationConfig
+from repro.serve.session import WORKLOADS, SessionSpec
+
+
+def _grouped_config() -> SimulationConfig:
+    return SimulationConfig(algorithm="bvh", traversal="grouped",
+                            group_size=16)
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One kind of session request in the traffic mix."""
+
+    name: str
+    workload: str
+    n: int
+    steps: int
+    #: Relative probability of drawing this class.
+    weight: float = 1.0
+    config: SimulationConfig = field(default_factory=_grouped_config)
+
+    def __post_init__(self):
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.weight <= 0:
+            raise ValueError("class weight must be positive")
+
+
+def default_classes() -> list[RequestClass]:
+    """A small interactive/batch mix (sized for the smoke benchmark)."""
+    return [
+        RequestClass("interactive", "plummer", n=192, steps=4, weight=3.0),
+        RequestClass("batch", "galaxy", n=384, steps=8, weight=1.0),
+        RequestClass("sweep", "cube", n=256, steps=6, weight=1.0),
+    ]
+
+
+def generate_traffic(
+    *,
+    seed: int,
+    tenants: int = 4,
+    sessions_per_tenant: int = 4,
+    classes: list[RequestClass] | None = None,
+    mean_interarrival: float = 0.0,
+    identical: bool = False,
+) -> list[SessionSpec]:
+    """Deterministic session specs for *tenants* x *sessions_per_tenant*.
+
+    Arrivals follow exponential interarrivals with *mean_interarrival*
+    modeled seconds (0 = everything arrives at t=0: a closed-system
+    saturation test); classes are drawn by weight; workload seeds are
+    drawn per session so no two sessions share initial conditions —
+    unless *identical* is set, which gives every session the same class
+    and workload seed (the shared-structure-cache scenario: N tenants
+    running the same query).
+    """
+    if tenants < 1 or sessions_per_tenant < 1:
+        raise ValueError("tenants and sessions_per_tenant must be >= 1")
+    if mean_interarrival < 0:
+        raise ValueError("mean_interarrival must be non-negative")
+    classes = list(classes) if classes is not None else default_classes()
+    if not classes:
+        raise ValueError("classes must be non-empty")
+    rng = np.random.default_rng(seed)
+    weights = np.array([c.weight for c in classes], dtype=float)
+    weights /= weights.sum()
+
+    specs: list[SessionSpec] = []
+    clock = 0.0
+    total = tenants * sessions_per_tenant
+    for i in range(total):
+        if mean_interarrival > 0:
+            clock += float(rng.exponential(mean_interarrival))
+        tenant = f"tenant-{i % tenants}"
+        if identical:
+            cls = classes[0]
+            wl_seed = int(seed)
+        else:
+            cls = classes[int(rng.choice(len(classes), p=weights))]
+            wl_seed = int(rng.integers(0, 2**31 - 1))
+        specs.append(SessionSpec(
+            tenant=tenant,
+            name=f"s{i:03d}-{cls.name}",
+            workload=cls.workload,
+            n=cls.n,
+            steps=cls.steps,
+            seed=wl_seed,
+            arrival=clock,
+            config=cls.config,
+        ))
+    return specs

@@ -72,6 +72,11 @@ class ExecutionContext:
         #: Span tracer (:mod:`repro.obs`); the shared no-op by default,
         #: so the tracing cost when disabled is one attribute test.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Timeline lane phase spans from this context land on.  The
+        #: driver lane by default; the session server gives every
+        #: hosted session its own lane so one shared tracer carries
+        #: per-tenant timelines side by side.
+        self.trace_lane = 0
 
     # ------------------------------------------------------------------
     @property
@@ -92,7 +97,8 @@ class ExecutionContext:
         prev = self._current_step
         self._current_step = name
         tracer = self.tracer
-        frame = tracer.begin_phase(name, self) if tracer.enabled else None
+        frame = (tracer.begin_phase(name, self, lane=self.trace_lane)
+                 if tracer.enabled else None)
         t0 = time.perf_counter()
         try:
             yield self.counters

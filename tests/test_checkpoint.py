@@ -99,10 +99,11 @@ class TestResume:
         assert resumed.time == pytest.approx(sim.time)
 
     def test_distributed_resume_deterministic(self, tmp_path):
-        """Distributed resume re-derives the domain splits at the
-        checkpoint positions (the rebalance cadence restarts), so it is
-        not bitwise the uninterrupted run — but it IS deterministic, and
-        the physics stays within the theta accuracy class."""
+        """Two loads of one distributed checkpoint agree bitwise.
+
+        (Since the runtime state rides in the header, rebuild-mode
+        resume is in fact bit-exact against the uninterrupted run too —
+        tests/test_checkpoint_midepoch.py asserts that directly.)"""
         sim = _sim(150, algorithm="bvh", ranks=2)
         sim.run(3)
         p = tmp_path / "ckpt.npz"

@@ -1,0 +1,163 @@
+"""Shared structure cache: fingerprinting, LRU budget, bit-exactness.
+
+The safety argument of cross-session sharing is content addressing:
+an entry is only served when the structure key, the complete config
+fingerprint, and the blake2b digest of the exact position/mass bytes
+all match.  These tests pin the fingerprint's field coverage, the LRU
+byte-budget eviction, the hit/miss/eviction counters, and — the part
+that matters — that sims sharing a cache produce bit-identical
+trajectories to a solo run for every supported algorithm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import Simulation
+from repro.serve import (
+    SharedStructureCache,
+    config_fingerprint,
+    state_digest,
+)
+from repro.workloads import plummer_sphere
+
+N = 96
+STEPS = 5
+
+
+def _cfg(**kw) -> SimulationConfig:
+    base = dict(algorithm="octree", traversal="grouped", group_size=16)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprint + digest keying
+# ---------------------------------------------------------------------------
+class TestFingerprint:
+    def test_excludes_cost_only_fields(self):
+        base = _cfg()
+        for field, value in [("dt", 0.25), ("simt_width", 64),
+                             ("rebalance_steps", 7)]:
+            varied = dataclasses.replace(base, **{field: value})
+            assert config_fingerprint(base) == config_fingerprint(varied), \
+                field
+
+    @pytest.mark.parametrize("field,value", [
+        ("theta", 0.9),
+        ("algorithm", "bvh"),
+        ("traversal", "dual"),
+        ("group_size", 32),
+        ("multipole_order", 2),
+    ])
+    def test_includes_structure_relevant_fields(self, field, value):
+        base = _cfg()
+        varied = dataclasses.replace(base, **{field: value})
+        assert config_fingerprint(base) != config_fingerprint(varied)
+
+    def test_state_digest_tracks_exact_bytes(self):
+        sys_a = plummer_sphere(N, seed=1)
+        sys_b = plummer_sphere(N, seed=1)
+        assert state_digest(sys_a.x, sys_a.m) == \
+            state_digest(sys_b.x, sys_b.m)
+        sys_b.x[0, 0] = np.nextafter(sys_b.x[0, 0], np.inf)
+        assert state_digest(sys_a.x, sys_a.m) != \
+            state_digest(sys_b.x, sys_b.m)
+
+    def test_supports_only_stateless_configs(self):
+        assert SharedStructureCache.supports(_cfg())
+        assert not SharedStructureCache.supports(
+            _cfg(tree_reuse_steps=3))
+        assert not SharedStructureCache.supports(
+            _cfg(tree_update="refit"))
+        assert not SharedStructureCache.supports(_cfg(ranks=2))
+
+
+# ---------------------------------------------------------------------------
+# LRU byte budget + counters
+# ---------------------------------------------------------------------------
+class TestEviction:
+    def _store_states(self, cache, count, n=64):
+        cfg = _cfg()
+        systems = [plummer_sphere(n, seed=s) for s in range(count)]
+        for sys_ in systems:
+            entry = cache.store("octree", cfg, sys_,
+                                {"payload": sys_.x.copy()})
+            assert entry is not None
+        return systems
+
+    def test_lru_eviction_under_byte_budget(self):
+        # Each payload is 64 * 3 * 8 = 1536 bytes; budget fits ~2.
+        cache = SharedStructureCache(byte_budget=4000)
+        systems = self._store_states(cache, 4)
+        assert cache.stats["evictions"] > 0
+        assert cache.nbytes <= 4000
+        cfg = _cfg()
+        # Newest entry survived, oldest was evicted.
+        assert cache.lookup("octree", cfg, systems[-1]) is not None
+        assert cache.lookup("octree", cfg, systems[0]) is None
+
+    def test_newest_entry_never_evicted(self):
+        # A budget smaller than one entry still keeps the latest store
+        # (the force evaluation in flight is populating it).
+        cache = SharedStructureCache(byte_budget=100)
+        systems = self._store_states(cache, 3)
+        assert len(cache) == 1
+        assert cache.lookup("octree", _cfg(), systems[-1]) is not None
+
+    def test_hit_miss_counters(self):
+        cache = SharedStructureCache()
+        cfg = _cfg()
+        sys_ = plummer_sphere(64, seed=0)
+        assert cache.lookup("octree", cfg, sys_) is None
+        cache.store("octree", cfg, sys_, {"x": sys_.x})
+        assert cache.lookup("octree", cfg, sys_) is not None
+        stats = cache.stats_dict()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+        assert stats["stores"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_unsupported_config_bypasses_cache(self):
+        cache = SharedStructureCache()
+        cfg = _cfg(tree_reuse_steps=3)
+        sys_ = plummer_sphere(64, seed=0)
+        assert cache.store("octree", cfg, sys_, {}) is None
+        assert cache.lookup("octree", cfg, sys_) is None
+        assert cache.stats["misses"] == 0  # not even counted
+
+
+# ---------------------------------------------------------------------------
+# Bit-exactness of shared evaluation
+# ---------------------------------------------------------------------------
+class TestSharedBitExactness:
+    @pytest.mark.parametrize("algorithm", ["octree", "bvh", "octree-2stage"])
+    def test_twin_sims_match_solo_run(self, algorithm):
+        """Interleaved twins sharing a cache == an unshared solo run."""
+        cfg = _cfg(algorithm=algorithm)
+
+        def make():
+            return plummer_sphere(N, seed=11)
+
+        solo = Simulation(make(), cfg)
+        solo.advance(STEPS)
+
+        shared = SharedStructureCache()
+        twins = [
+            Simulation(make(), cfg, tree_cache={"_shared": shared})
+            for _ in range(2)
+        ]
+        for _ in range(STEPS):
+            for sim in twins:
+                sim.advance(1)
+
+        for sim in twins:
+            np.testing.assert_array_equal(sim.system.x, solo.system.x)
+            np.testing.assert_array_equal(sim.system.v, solo.system.v)
+        # The lockstep twins actually shared: at least one hit per step
+        # after the first evaluation.
+        assert shared.stats["hits"] >= STEPS

@@ -1,0 +1,230 @@
+"""Fair-scheduling and admission guarantees of the service layer.
+
+Covers the DRR fairness bound (no tenant exceeds its granted share by
+more than one quantum's cost), weighted shares, FIFO ordering within a
+tenant, the machine-readable backpressure rejection codes, and the
+determinism of the modeled admission wait estimates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.serve import (
+    REJECT_SERVER_SATURATED,
+    REJECT_TENANT_QUEUE_FULL,
+    AdmissionController,
+    DeficitRoundRobin,
+    SessionServer,
+    SessionSpec,
+    TenantQuota,
+)
+from repro.serve.admission import Occupancy
+
+
+def _cfg(**kw) -> SimulationConfig:
+    base = dict(algorithm="bvh", traversal="grouped", group_size=16)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def _spec(tenant, name, *, arrival=0.0, n=64, steps=2, seed=0):
+    return SessionSpec(tenant=tenant, name=name, workload="plummer",
+                       n=n, steps=steps, seed=seed, arrival=arrival,
+                       config=_cfg())
+
+
+# ---------------------------------------------------------------------------
+# DeficitRoundRobin unit behaviour
+# ---------------------------------------------------------------------------
+class TestDeficitRoundRobin:
+    def _drive(self, sched, work, cost, rounds):
+        """Synthetic event loop: *work* quanta per tenant at *cost* each."""
+        left = dict(work)
+        for _ in range(rounds):
+            backlogged = [t for t, k in left.items() if k > 0]
+            if not backlogged:
+                break
+            for tenant in sched.round_order(backlogged):
+                if left[tenant] <= 0:
+                    continue
+                sched.grant(tenant)
+                while left[tenant] > 0 and sched.runnable(tenant):
+                    sched.charge(tenant, cost[tenant])
+                    left[tenant] -= 1
+                if left[tenant] <= 0:
+                    sched.drained(tenant)
+        return left
+
+    def test_registration_order_is_ring_order(self):
+        sched = DeficitRoundRobin()
+        for t in ("c", "a", "b"):
+            sched.register(t)
+        assert sched.round_order(["a", "b", "c"]) == ["c", "a", "b"]
+        # Re-registration neither moves nor duplicates a tenant.
+        sched.register("a", weight=5.0)
+        assert sched.round_order(["a", "c"]) == ["c", "a"]
+
+    def test_one_quantum_overshoot_bound(self):
+        """charged - granted never exceeds the largest single cost."""
+        sched = DeficitRoundRobin()
+        sched.register("a")
+        sched.register("b")
+        costs = {"a": 3e-6, "b": 7e-6}
+        self._drive(sched, {"a": 40, "b": 40}, costs, rounds=10_000)
+        worst = max(costs.values())
+        for t in ("a", "b"):
+            assert sched.fairness_slack(t) <= worst + 1e-15
+
+    def test_weighted_shares_converge(self):
+        """With 2:1 weights and equal backlog, charges split 2:1."""
+        sched = DeficitRoundRobin()
+        sched.register("heavy", weight=2.0)
+        sched.register("light", weight=1.0)
+        cost = {"heavy": 5e-6, "light": 5e-6}
+        left = self._drive(sched, {"heavy": 300, "light": 300}, cost,
+                           rounds=150)
+        # Both still backlogged: the window is fully governed by DRR.
+        assert left["heavy"] > 0 and left["light"] > 0
+        ratio = sched.charged["heavy"] / sched.charged["light"]
+        # Within one quantum of exact 2:1.
+        assert ratio == pytest.approx(2.0, abs=0.35)
+
+    def test_drained_forfeits_deficit(self):
+        sched = DeficitRoundRobin(quantum=1e-3)
+        sched.register("a")
+        sched.grant("a")
+        assert sched.deficit("a") > 0
+        sched.drained("a")
+        assert sched.deficit("a") == 0.0
+
+    def test_quantum_autocalibrates_to_max_cost(self):
+        sched = DeficitRoundRobin()
+        sched.register("a")
+        assert sched.quantum == pytest.approx(1e-9)
+        sched.grant("a")
+        sched.charge("a", 4.2e-5)
+        assert sched.quantum == pytest.approx(4.2e-5)
+        sched.charge("a", 1e-6)  # smaller costs never shrink it
+        assert sched.quantum == pytest.approx(4.2e-5)
+
+    def test_fixed_quantum_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(quantum=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+class TestAdmission:
+    def test_tenant_queue_full_code(self):
+        ctl = AdmissionController(
+            quotas={"t": TenantQuota(max_active=8, max_queued=2)})
+        occ = Occupancy({"t": 3}, {"t": 2}, {"t": 1.0})
+        res = ctl.offer(_spec("t", "s"), occ)
+        assert not res.admitted
+        assert res.code == REJECT_TENANT_QUEUE_FULL
+
+    def test_server_saturated_code(self):
+        ctl = AdmissionController(max_sessions=4)
+        occ = Occupancy({"a": 2, "b": 2}, {}, {})
+        res = ctl.offer(_spec("c", "s"), occ)
+        assert not res.admitted
+        assert res.code == REJECT_SERVER_SATURATED
+
+    def test_tenant_limit_checked_before_server_limit(self):
+        ctl = AdmissionController(
+            max_sessions=2,
+            quotas={"t": TenantQuota(max_active=1)})
+        occ = Occupancy({"t": 1, "u": 1}, {}, {})
+        res = ctl.offer(_spec("t", "s"), occ)
+        assert res.code == REJECT_TENANT_QUEUE_FULL
+
+    def test_wait_estimate_is_gps_bound(self):
+        ctl = AdmissionController(
+            quotas={"t": TenantQuota(weight=1.0)},
+            default_quota=TenantQuota(weight=1.0))
+        occ = Occupancy({"t": 1, "u": 1}, {}, {"t": 3.0, "u": 9.0})
+        # Two equal-weight tenants with work: t serves its 3.0s backlog
+        # at half the aggregate rate.
+        res = ctl.offer(_spec("t", "s"), occ)
+        assert res.admitted
+        assert res.estimated_wait == pytest.approx(6.0)
+
+    def test_wait_estimate_empty_server_is_zero(self):
+        ctl = AdmissionController()
+        res = ctl.offer(_spec("t", "s"), Occupancy({}, {}, {}))
+        assert res.admitted
+        assert res.estimated_wait == 0.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the server event loop
+# ---------------------------------------------------------------------------
+class TestServerScheduling:
+    def test_fifo_within_tenant(self):
+        specs = [_spec("t", f"s{i}", arrival=0.0) for i in range(3)]
+        server = SessionServer(shared_cache=False)
+        res = server.run(specs)
+        rows = [r for r in res.sessions if r["tenant"] == "t"]
+        finished = sorted(rows, key=lambda r: r["finished"])
+        assert [r["name"] for r in finished] == ["s0", "s1", "s2"]
+        # Head-of-line: a later session never starts before an earlier
+        # one finished.
+        for prev, nxt in zip(finished, finished[1:]):
+            assert nxt["started"] >= prev["finished"]
+
+    def test_rejection_codes_surface_in_result(self):
+        quotas = {"t": TenantQuota(max_queued=2, max_active=8)}
+        specs = [_spec("t", f"s{i}") for i in range(3)]
+        server = SessionServer(quotas=quotas, shared_cache=False)
+        res = server.run(specs)
+        codes = [r["code"] for r in res.rejected]
+        assert codes == [REJECT_TENANT_QUEUE_FULL]
+        assert res.tenants["t"]["rejected"] == 1
+        assert res.completed == 2
+
+    def test_server_saturation_rejects_across_tenants(self):
+        specs = [_spec(f"t{i}", "s") for i in range(4)]
+        server = SessionServer(max_sessions=2, shared_cache=False)
+        res = server.run(specs)
+        codes = sorted(r["code"] for r in res.rejected)
+        assert codes == [REJECT_SERVER_SATURATED] * 2
+
+    def test_no_tenant_overdraws_by_more_than_one_quantum(self):
+        specs = []
+        for i in range(3):
+            specs += [_spec(f"t{i}", f"s{j}", steps=4) for j in range(2)]
+        server = SessionServer(shared_cache=False, quantum_steps=1)
+        server.run(specs)
+        sched = server.scheduler
+        for t in ("t0", "t1", "t2"):
+            assert sched.fairness_slack(t) <= sched.quantum + 1e-15
+
+    def test_throttling_is_counted(self):
+        """Multi-session tenants get cut off mid-queue by their share."""
+        specs = [_spec("a", f"s{i}", steps=6) for i in range(3)]
+        specs += [_spec("b", f"s{i}", steps=6) for i in range(3)]
+        server = SessionServer(shared_cache=False, quantum_steps=1)
+        res = server.run(specs)
+        throttles = sum(t["throttle_events"]
+                        for t in res.tenants.values())
+        assert throttles > 0
+
+    def test_wait_estimates_deterministic_and_ordered(self):
+        specs = [_spec("t", f"s{i}", steps=4) for i in range(4)]
+
+        def run():
+            return SessionServer(shared_cache=False).run(specs)
+
+        a, b = run(), run()
+        est_a = [r["estimated_wait"] for r in a.sessions]
+        est_b = [r["estimated_wait"] for r in b.sessions]
+        assert est_a == est_b
+        # Later arrivals into the same queue see monotonically larger
+        # modeled backlog.
+        by_name = sorted(a.sessions, key=lambda r: r["name"])
+        ests = [r["estimated_wait"] for r in by_name]
+        assert ests == sorted(ests)
+        assert ests[0] == 0.0 and ests[-1] > 0.0

@@ -1,0 +1,201 @@
+"""SessionServer end-to-end: determinism, time-slicing, sharing.
+
+The three properties the service layer stands on:
+
+* **Determinism** — two runs over the same seeded traffic produce
+  byte-identical result payloads and byte-identical trace exports.
+* **Bit-exact time-slicing** — ``max_resident=1`` forces every context
+  switch through the checkpoint suspend/resume path, and every session
+  still produces exactly the final state of unlimited residency (even
+  mid-epoch, with tree-reuse configs).
+* **Structure sharing** — identical-config tenants through the shared
+  cache complete in materially less modeled time than isolated ones,
+  with identical results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.obs import Tracer, chrome_trace
+from repro.serve import (
+    QueueDepthWatchdog,
+    SessionServer,
+    SessionSpec,
+    generate_traffic,
+    RequestClass,
+)
+
+SEED = 7
+
+
+def _cfg(**kw) -> SimulationConfig:
+    base = dict(algorithm="octree", traversal="grouped", group_size=16)
+    base.update(kw)
+    return SimulationConfig(**base)
+
+
+def _traffic(**kw):
+    base = dict(seed=SEED, tenants=3, sessions_per_tenant=2,
+                classes=[RequestClass("mix", "plummer", n=96, steps=5)],
+                mean_interarrival=1e-5)
+    base.update(kw)
+    return generate_traffic(**base)
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_result_payload_byte_identical(self):
+        def run():
+            res = SessionServer(quantum_steps=2).run(_traffic())
+            return json.dumps(res.as_dict(), sort_keys=True)
+
+        assert run() == run()
+
+    def test_trace_export_byte_identical(self):
+        def run():
+            tracer = Tracer()
+            server = SessionServer(quantum_steps=2, tracer=tracer)
+            server.run(_traffic())
+            return json.dumps(chrome_trace(tracer), sort_keys=True,
+                              separators=(",", ":"))
+
+        assert run() == run()
+
+    def test_summary_renders(self):
+        res = SessionServer(quantum_steps=2).run(_traffic())
+        text = res.summary()
+        assert "latency p50=" in text
+        assert "tenant-0" in text
+        assert "shared cache:" in text
+
+
+# ---------------------------------------------------------------------------
+# Time-slicing through the checkpoint path
+# ---------------------------------------------------------------------------
+class TestResidencyTimeSlicing:
+    @pytest.mark.parametrize("cfg_kw", [
+        {},                                        # stateless rebuild
+        {"tree_reuse_steps": 3},                   # mid-epoch suspend
+        {"algorithm": "bvh", "tree_update": "refit"},
+    ])
+    def test_single_slot_matches_unlimited(self, cfg_kw):
+        specs = _traffic(
+            classes=[RequestClass("slice", "plummer", n=96, steps=5,
+                                  config=_cfg(**cfg_kw))])
+
+        def digests(max_resident):
+            server = SessionServer(
+                quantum_steps=2, max_resident=max_resident,
+                shared_cache=False)
+            res = server.run(specs)
+            return {(r["tenant"], r["name"]): r["result"]
+                    for r in res.sessions}
+
+        unlimited = digests(None)
+        sliced = digests(1)
+        assert sliced == unlimited
+        assert all(d is not None for d in unlimited.values())
+
+    def test_suspends_actually_happened(self):
+        specs = _traffic()
+        server = SessionServer(quantum_steps=1, max_resident=1,
+                               shared_cache=False)
+        res = server.run(specs)
+        suspends = sum(
+            server.tenant_metrics(t).as_dict()["counters"]
+            .get("serve.suspends", 0)
+            for t in res.tenants
+        )
+        assert suspends > 0
+
+
+# ---------------------------------------------------------------------------
+# Cross-session structure sharing
+# ---------------------------------------------------------------------------
+class TestSharing:
+    def _identical_traffic(self):
+        return generate_traffic(
+            seed=SEED, tenants=8, sessions_per_tenant=1, identical=True,
+            classes=[RequestClass("twin", "plummer", n=192, steps=6,
+                                  config=_cfg())])
+
+    def test_shared_vs_isolated_speedup_and_equality(self):
+        specs = self._identical_traffic()
+        shared = SessionServer(quantum_steps=2, shared_cache=True)
+        res_shared = shared.run(specs)
+        isolated = SessionServer(quantum_steps=2, shared_cache=False)
+        res_isolated = isolated.run(specs)
+
+        # Identical physics either way.
+        assert ({r["name"]: r["result"] for r in res_shared.sessions}
+                == {r["name"]: r["result"] for r in res_isolated.sessions})
+        # Aggregate session throughput: the ISSUE acceptance bar.
+        speedup = (res_shared.steps_per_second
+                   / res_isolated.steps_per_second)
+        assert speedup >= 1.5
+        assert res_shared.cache["hits"] > 0
+        assert res_shared.cache["hit_rate"] > 0.5
+
+    def test_mixed_configs_never_cross_contaminate(self):
+        # Same workload bytes, two thetas: every lookup must miss
+        # across the config boundary.
+        specs = []
+        for i, theta in enumerate([0.5, 0.9]):
+            specs.append(SessionSpec(
+                tenant=f"t{i}", name=f"s{i}", workload="plummer",
+                n=96, steps=4, seed=3, arrival=0.0,
+                config=_cfg(theta=theta)))
+        server = SessionServer(quantum_steps=2, shared_cache=True)
+        res = server.run(specs)
+        digests = {r["name"]: r["result"] for r in res.sessions}
+        assert digests["s0"] != digests["s1"]
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: lanes, metrics, watchdogs, budget
+# ---------------------------------------------------------------------------
+class TestTelemetry:
+    def test_per_session_trace_lanes(self):
+        tracer = Tracer()
+        server = SessionServer(quantum_steps=2, tracer=tracer)
+        server.run(_traffic())
+        # Every session got a named tenant/session lane.
+        assert server.lane_tenants, "no lanes were assigned"
+        for lane, tenant in server.lane_tenants.items():
+            assert tracer.lane_names[lane].startswith(tenant + "/")
+        # Spans landed on session lanes, not just the driver.
+        lanes_used = {rec.lane for rec in tracer.spans}
+        assert set(server.lane_tenants) <= lanes_used
+
+    def test_per_tenant_metrics_populated(self):
+        server = SessionServer(quantum_steps=2)
+        res = server.run(_traffic())
+        for tenant in res.tenants:
+            counters = server.tenant_metrics(tenant).as_dict()["counters"]
+            assert counters["serve.sessions_admitted"] == 2
+            assert counters["serve.sessions_completed"] == 2
+            assert counters["serve.steps"] == 10
+            assert counters["serve.quanta"] >= 5
+
+    def test_queue_depth_watchdog_fires(self):
+        server = SessionServer(
+            quantum_steps=2, watchdogs=[QueueDepthWatchdog(threshold=1)])
+        res = server.run(_traffic(sessions_per_tenant=4))
+        kinds = {a.kind for a in res.alerts}
+        assert "serve_queue_depth" in kinds
+        # Alerts ride into the serialized payload.
+        assert any(a["kind"] == "serve_queue_depth"
+                   for a in res.as_dict()["alerts"])
+
+    def test_budget_shares_sum_to_one(self):
+        res = SessionServer(quantum_steps=2).run(_traffic())
+        shares = [t["share"] for t in res.tenants.values()]
+        assert sum(shares) == pytest.approx(1.0)
+        # The clock is charged work plus idle jumps to arrivals.
+        assert 0.0 < res.budget["total"] <= res.clock
